@@ -1,0 +1,38 @@
+"""Figure 11: top-k coverage as a function of keyword-context sources.
+
+Paper: each added source (previous sentence, paragraph start, synonyms,
+headlines) improves coverage, most visibly at top-1 (~55 -> ~58.4).
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import keyword_context_ladder
+from repro.harness.reporting import format_series
+
+
+def test_fig11_keyword_context(benchmark, sweep_cache, capsys):
+    series = {}
+    top1 = []
+    for label, config in keyword_context_ladder():
+        run = sweep_cache(f"ctx:{label}", config)
+        metrics = run.metrics
+        series[label] = [
+            (k, round(metrics.top_k_coverage(k), 1)) for k in (1, 5, 10)
+        ]
+        top1.append(metrics.top_k_coverage(1))
+
+    run = sweep_cache("ctx:Claim sentence", keyword_context_ladder()[0][1])
+    benchmark(lambda: run.metrics.top_k_coverage(1))
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 11: top-k coverage vs keyword context "
+                "(sweep subset; paper top-1: ~55 -> 58.4)",
+                series,
+            )
+        )
+
+    # Shape: full context beats the claim-sentence-only variant.
+    assert top1[-1] > top1[0]

@@ -1,0 +1,47 @@
+"""Figure 12: parameter pT versus recall and precision.
+
+Paper: lowering pT makes the system more suspicious — recall rises,
+precision falls; pT = 0.999 was chosen as the operating point.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import pt_ladder
+from repro.harness.reporting import format_series
+
+
+def test_fig12_pt_sweep(benchmark, sweep_cache, capsys):
+    recalls = []
+    precisions = []
+    f1s = []
+    values = []
+    for label, config in pt_ladder():
+        run = sweep_cache(f"pt:{label}", config)
+        metrics = run.metrics
+        value = config.em.p_true
+        values.append(value)
+        # Label with the exact pT (a float cell would round 0.999 -> 1.0).
+        recalls.append((str(value), round(100 * metrics.recall, 1)))
+        precisions.append((str(value), round(100 * metrics.precision, 1)))
+        f1s.append((str(value), round(100 * metrics.f1, 1)))
+
+    run = sweep_cache("pt:pT = 0.999", pt_ladder()[3][1])
+    benchmark(lambda: run.metrics.f1)
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 12: pT vs recall/precision/F1 (sweep subset)",
+                {
+                    "recall %": recalls,
+                    "precision %": precisions,
+                    "f1 %": f1s,
+                },
+            )
+        )
+
+    # Shape: the lowest pT is at least as suspicious (recall) as the
+    # highest, and the highest pT has the best precision.
+    assert recalls[0][1] >= recalls[-1][1] - 1e-9
+    assert precisions[-1][1] >= precisions[0][1] - 1e-9

@@ -1,0 +1,65 @@
+"""Figure 13: top-k coverage versus processing overheads.
+
+Left panel: the "# Hits" retrieval budget; right panel: the number of
+aggregation columns considered. Paper: more budget -> more coverage, with
+diminishing returns.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import column_budget_ladder, hits_ladder
+from repro.harness.reporting import format_series
+
+
+def test_fig13_time_budget(benchmark, sweep_cache, capsys):
+    hits_series = {"top-1": [], "top-10": []}
+    hits_top10 = []
+    for label, config in hits_ladder():
+        run = sweep_cache(f"hits:{label}", config)
+        seconds = round(run.total_seconds, 1)
+        hits_series["top-1"].append(
+            (f"{label} ({seconds}s)", round(run.metrics.top_k_coverage(1), 1))
+        )
+        hits_series["top-10"].append(
+            (f"{label} ({seconds}s)", round(run.metrics.top_k_coverage(10), 1))
+        )
+        hits_top10.append(run.metrics.top_k_coverage(10))
+
+    column_series = {"top-1": [], "top-10": []}
+    column_top10 = []
+    for label, config in column_budget_ladder():
+        run = sweep_cache(f"cols:{label}", config)
+        seconds = round(run.total_seconds, 1)
+        column_series["top-1"].append(
+            (f"{label} ({seconds}s)", round(run.metrics.top_k_coverage(1), 1))
+        )
+        column_series["top-10"].append(
+            (f"{label} ({seconds}s)", round(run.metrics.top_k_coverage(10), 1))
+        )
+        column_top10.append(run.metrics.top_k_coverage(10))
+
+    run = sweep_cache("hits:# Hits = 20", hits_ladder()[2][1])
+    benchmark(lambda: run.metrics.top_k_coverage(10))
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 13 (left): coverage vs # Hits (sweep subset)",
+                hits_series,
+            )
+        )
+        print(
+            format_series(
+                "Figure 13 (right): coverage vs # aggregation columns",
+                column_series,
+            )
+        )
+
+    # Shape: growing the budget improves coverage up to a plateau; the
+    # largest budget may dip slightly below the peak (the paper's own
+    # "# Hits = 30" row is marginally below "# Hits = 20").
+    assert max(hits_top10) > hits_top10[0]
+    assert hits_top10[-1] >= hits_top10[0] - 5.0
+    assert max(column_top10) >= column_top10[0]
+    assert column_top10[-1] >= column_top10[0] - 5.0

@@ -1,0 +1,53 @@
+"""Figure 6: correctly verified claims as a function of time, per article.
+
+The paper plots six articles, AggChecker vs SQL; the AggChecker curve
+rises much faster in every panel.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_series
+from repro.harness.users import UserSimulator, default_users
+
+
+def test_fig6_verified_over_time(benchmark, study, capsys):
+    checkpoints = (60, 120, 180, 300, 600, 1200)
+    output = {}
+    articles = sorted({s.case_id for s in study.sessions})
+    final = {}
+    for article in articles:
+        for tool in ("aggchecker", "sql"):
+            sessions = [
+                s
+                for s in study.sessions
+                if s.case_id == article and s.tool == tool
+            ]
+            if not sessions:
+                continue
+            series = []
+            for t in checkpoints:
+                if t > sessions[0].time_limit:
+                    break
+                mean = sum(s.verified_by(t) for s in sessions) / len(sessions)
+                series.append((t, round(mean, 2)))
+            output[f"{article}/{tool}"] = series
+            final[(article, tool)] = series[-1][1] if series else 0.0
+
+    benchmark(lambda: [s.verified_by(300) for s in study.sessions])
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 6: avg correctly verified claims over time "
+                "(AggChecker vs SQL)",
+                output,
+            )
+        )
+
+    # Shape: by the time limit, AggChecker leads on every article.
+    for article in articles:
+        agg = final.get((article, "aggchecker"))
+        sql = final.get((article, "sql"))
+        if agg is not None and sql is not None:
+            assert agg >= sql

@@ -1,0 +1,43 @@
+"""Figure 7: claims verified per minute, by user and by article.
+
+The paper reports users being about six times faster with the AggChecker.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_series
+
+
+def test_fig7_throughput(benchmark, study, capsys):
+    by_user = study.throughput_by_user()
+    by_article = study.throughput_by_article()
+    speedup = benchmark(study.average_speedup)
+
+    series = {
+        "by user / aggchecker": [
+            (user, round(tools.get("aggchecker", 0.0), 2))
+            for user, tools in sorted(by_user.items())
+        ],
+        "by user / sql": [
+            (user, round(tools.get("sql", 0.0), 2))
+            for user, tools in sorted(by_user.items())
+        ],
+        "by article / aggchecker": [
+            (case, round(tools.get("aggchecker", 0.0), 2))
+            for case, tools in sorted(by_article.items())
+        ],
+        "by article / sql": [
+            (case, round(tools.get("sql", 0.0), 2))
+            for case, tools in sorted(by_article.items())
+        ],
+    }
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 7: claims verified per minute", series
+            )
+        )
+        print(f"  average speedup: x{speedup:.1f} (paper: ~x6)")
+
+    assert speedup > 3  # the paper's headline: users are much faster

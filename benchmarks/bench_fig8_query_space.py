@@ -1,0 +1,50 @@
+"""Figure 8: number of possible query candidates per data set.
+
+The paper shows 10^4..10^12 candidates across test cases (the Stack
+Overflow survey with 154 columns exceeds a trillion). The wide
+developer-survey theme reproduces the heavy tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fragments import extract_fragments
+from repro.harness.reporting import format_series
+
+
+def test_fig8_query_space(benchmark, corpus, capsys):
+    sizes = []
+    catalog = None
+    for case in corpus.cases:
+        catalog = extract_fragments(case.database)
+        sizes.append(
+            (case.case_id, catalog.candidate_space_size(max_predicates=3))
+        )
+    sizes.sort(key=lambda pair: pair[1])
+
+    benchmark(lambda: catalog.candidate_space_size(max_predicates=3))
+
+    series = {
+        "log10(#queries) per case": [
+            (case_id, round(math.log10(max(size, 1)), 1))
+            for case_id, size in sizes
+        ]
+    }
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_series(
+                "Figure 8: possible Simple Aggregate Queries per data set",
+                series,
+            )
+        )
+        print(
+            f"  min={sizes[0][1]:.2e}  max={sizes[-1][1]:.2e} "
+            "(paper: ~10^4 .. >10^12)"
+        )
+
+    # Shape: several orders of magnitude spread; wide survey tables are
+    # the heavy tail (paper: 10^4 .. >10^12 over real data sets).
+    assert sizes[-1][1] > 1e9
+    assert sizes[-1][1] / max(sizes[0][1], 1) > 1e5

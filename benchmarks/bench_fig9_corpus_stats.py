@@ -1,0 +1,62 @@
+"""Figure 9: corpus statistics (Appendix B).
+
+(a) claims per article and erroneous share: 392 claims over 53 articles,
+    12% erroneous, 17/53 articles with at least one error;
+(b) top-N query-characteristic coverage: top-3 covers ~90.8% on average;
+(c) predicate-count breakdown: 17% zero / 61% one / 23% two.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_series, format_table
+
+
+def test_fig9_corpus_stats(benchmark, corpus, capsys):
+    histogram = benchmark(corpus.predicate_histogram)
+
+    per_case = corpus.claims_per_case()
+    total = corpus.total_claims
+    shares = {
+        count: 100.0 * value / total for count, value in histogram.items()
+    }
+    coverage_series = {
+        key: [
+            (n, round(corpus.characteristic_coverage(n)[key], 1))
+            for n in (1, 2, 3, 5, 10)
+        ]
+        for key in ("function", "column", "predicates")
+    }
+
+    rows = [
+        ["articles", len(corpus), 53],
+        ["claims", total, 392],
+        ["erroneous claims", corpus.erroneous_claims, "47 (12%)"],
+        ["error rate", f"{corpus.error_rate:.1%}", "12%"],
+        ["articles with errors", corpus.cases_with_errors, 17],
+        ["claims/article (min-max)", f"{min(per_case)}-{max(per_case)}", "~5-30"],
+        ["% zero predicates", f"{shares.get(0, 0):.0f}%", "17%"],
+        ["% one predicate", f"{shares.get(1, 0):.0f}%", "61%"],
+        ["% two predicates", f"{shares.get(2, 0):.0f}%", "23%"],
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                "Figure 9(a)/(c): corpus statistics (measured / paper)",
+                ["Statistic", "Measured", "Paper"],
+                rows,
+            )
+        )
+        print(
+            format_series(
+                "Figure 9(b): % claims covered by top-N characteristics",
+                coverage_series,
+            )
+        )
+
+    # Shape assertions from Appendix B.
+    assert 300 <= total <= 500
+    assert 0.08 <= corpus.error_rate <= 0.2
+    coverage3 = corpus.characteristic_coverage(3)
+    assert sum(coverage3.values()) / 3 > 80.0  # ~90.8% in the paper
+    assert shares.get(1, 0) > shares.get(2, 0) > 0

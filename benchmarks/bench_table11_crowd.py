@@ -1,0 +1,55 @@
+"""Table 11: Amazon Mechanical Turk crowd study.
+
+Paper: document scope — AggChecker 56/53, Google Sheet 0/0;
+paragraph scope — AggChecker 86/96, Google Sheet 42/58 F1.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table
+from repro.harness.users import run_crowd_study
+
+
+def test_table11_crowd(benchmark, run_full, capsys):
+    rows = []
+    results = {}
+    for scope in ("document", "paragraph"):
+        outcome = run_crowd_study(run_full.results, scope=scope)
+        for tool, label in (
+            ("aggchecker", "AggChecker"),
+            ("spreadsheet", "G-Sheet"),
+        ):
+            recall, precision, f1 = outcome.recall_precision(tool)
+            results[(scope, tool)] = (recall, precision, f1)
+            rows.append(
+                [
+                    label,
+                    scope,
+                    f"{recall:.0%}",
+                    f"{precision:.0%}",
+                    f"{f1:.0%}",
+                ]
+            )
+    rows.append(["paper: AggChecker", "document", "56%", "53%", "54%"])
+    rows.append(["paper: G-Sheet", "document", "0%", "0%", "0%"])
+    rows.append(["paper: AggChecker", "paragraph", "86%", "96%", "91%"])
+    rows.append(["paper: G-Sheet", "paragraph", "42%", "95%", "58%"])
+
+    benchmark(lambda: run_crowd_study(run_full.results, scope="paragraph"))
+
+    table = format_table(
+        "Table 11: Amazon Mechanical Turk results",
+        ["Tool", "Scope", "Recall", "Precision", "F1"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    # Shape: AggChecker dominates spreadsheets in both scopes; the
+    # spreadsheet only becomes usable at paragraph scope.
+    for scope in ("document", "paragraph"):
+        assert results[(scope, "aggchecker")][2] > results[(scope, "spreadsheet")][2]
+    assert (
+        results[("paragraph", "spreadsheet")][0]
+        > results[("document", "spreadsheet")][0]
+    )

@@ -1,0 +1,116 @@
+"""Table 5: automated checking — ablations and baselines.
+
+Blocks: keyword-context ladder, probabilistic-model ladder, "# Hits"
+time/quality ladder, then ClaimBuster-FM (Max/MV), ClaimBuster-KB+NaLIR,
+and the full AggChecker. Paper's current version: R 70.8 / P 36.2 /
+F1 47.9; baselines far behind (FM-Max 34.1/12.3/18.1, KB+NaLIR
+2.4/10.0/3.9).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    ClaimBusterFM,
+    ClaimBusterKB,
+    FmMode,
+    build_fact_repository,
+)
+from repro.harness.ablations import (
+    hits_ladder,
+    keyword_context_ladder,
+    model_ladder,
+)
+from repro.harness.reporting import format_table
+
+
+def _metric_row(label, metrics, seconds=None):
+    time_cell = f"{seconds:.0f}s" if seconds is not None else "-"
+    return [
+        label,
+        f"{metrics.recall:.1%}",
+        f"{metrics.precision:.1%}",
+        f"{metrics.f1:.1%}",
+        time_cell,
+    ]
+
+
+def _baseline_metrics(corpus, results, flagger_factory):
+    tp = flagged = erroneous = 0
+    for result in results:
+        flagger = flagger_factory(result)
+        for claim, truth in zip(result.case.claims, result.case.ground_truth):
+            flag = flagger.flags(claim)
+            flagged += flag
+            tp += flag and not truth.is_correct
+            erroneous += not truth.is_correct
+    recall = tp / erroneous if erroneous else 0.0
+    precision = tp / flagged if flagged else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return recall, precision, f1
+
+
+def test_table5_baselines(benchmark, corpus, run_sweep, sweep_cache, capsys):
+    rows = []
+
+    rows.append(["-- Keyword Context --", "", "", "", ""])
+    for label, config in keyword_context_ladder():
+        run = sweep_cache(f"ctx:{label}", config)
+        rows.append(_metric_row(label, run.metrics, run.total_seconds))
+
+    rows.append(["-- Probabilistic Model --", "", "", "", ""])
+    for label, config in model_ladder():
+        run = sweep_cache(f"model:{label}", config)
+        rows.append(_metric_row(label, run.metrics, run.total_seconds))
+
+    rows.append(["-- Time Budget by Hits --", "", "", "", ""])
+    for label, config in hits_ladder():
+        run = sweep_cache(f"hits:{label}", config)
+        rows.append(_metric_row(label, run.metrics, run.total_seconds))
+
+    rows.append(["-- Baselines --", "", "", "", ""])
+    for mode, label in ((FmMode.MAX, "ClaimBuster-FM (Max)"), (FmMode.MV, "ClaimBuster-FM (MV)")):
+        recall, precision, f1 = _baseline_metrics(
+            corpus,
+            run_sweep.results,
+            lambda result, mode=mode: ClaimBusterFM(
+                build_fact_repository(
+                    corpus, exclude_case_id=result.case.case_id
+                ),
+                mode,
+            ),
+        )
+        rows.append([label, f"{recall:.1%}", f"{precision:.1%}", f"{f1:.1%}", "-"])
+    recall, precision, f1 = _baseline_metrics(
+        corpus,
+        run_sweep.results,
+        lambda result: ClaimBusterKB(result.case.database),
+    )
+    rows.append(
+        ["ClaimBuster-KB + NaLIR", f"{recall:.1%}", f"{precision:.1%}", f"{f1:.1%}", "-"]
+    )
+    rows.append(
+        _metric_row(
+            "AggChecker Automatic", run_sweep.metrics, run_sweep.total_seconds
+        )
+    )
+    rows.append(["paper: AggChecker Automatic", "70.8%", "36.2%", "47.9%", "128s"])
+    rows.append(["paper: ClaimBuster-FM (Max)", "34.1%", "12.3%", "18.1%", "142s"])
+    rows.append(["paper: ClaimBuster-KB + NaLIR", "2.4%", "10.0%", "3.9%", "18733s"])
+
+    # Timed unit: one ClaimBuster-FM claim check.
+    repository = build_fact_repository(corpus)
+    fm = ClaimBusterFM(repository)
+    claim = run_sweep.results[0].case.claims[0]
+    benchmark(lambda: fm.flags(claim))
+
+    table = format_table(
+        "Table 5: AggChecker vs baselines (sweep subset)",
+        ["Tool", "Recall", "Precision", "F1", "Time"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    # Shape assertions: the full system beats every baseline on F1.
+    agg_f1 = run_sweep.metrics.f1
+    assert agg_f1 > f1  # vs KB+NaLIR

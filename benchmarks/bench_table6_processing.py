@@ -1,0 +1,85 @@
+"""Table 6: processing-time ladder — naive, + query merging, + caching.
+
+Paper: naive 2587s total / 2415s query; + merging 151s / 39s (x61.9);
++ caching 128s / 18s (x2.1). The reproduction measures the same ladder on
+a corpus subset: per-mode end-to-end time and pure query-processing time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import AggCheckerConfig
+from repro.db.engine import ExecutionMode
+from repro.harness import run_corpus
+from repro.harness.reporting import format_table
+
+#: Naive execution is orders of magnitude slower; a small slice suffices
+#: to measure the ratio.
+LADDER_CASES = 4
+
+
+def _ladder_config(mode: ExecutionMode, reuse: bool) -> AggCheckerConfig:
+    return AggCheckerConfig(execution_mode=mode).with_em(reuse_results=reuse)
+
+
+def test_table6_processing(benchmark, corpus, capsys):
+    from repro.corpus.generator import Corpus
+
+    # The ladder isolates engine strategy effects; exclude the 90-column
+    # survey theme whose fragment extraction dominates either way.
+    ladder_corpus = Corpus(
+        [c for c in corpus.cases if c.theme_name != "developer_survey"][
+            :LADDER_CASES
+        ]
+    )
+    rows = []
+    query_times = {}
+    for label, mode, reuse in (
+        ("Naive", ExecutionMode.NAIVE, False),
+        ("+ Query Merging", ExecutionMode.MERGED, False),
+        ("+ Caching", ExecutionMode.MERGED_CACHED, True),
+    ):
+        started = time.perf_counter()
+        run = run_corpus(ladder_corpus, _ladder_config(mode, reuse))
+        total = time.perf_counter() - started
+        query_seconds = run.engine_stats.query_seconds
+        query_times[label] = query_seconds
+        speedup = ""
+        if label == "+ Query Merging":
+            speedup = f"x{query_times['Naive'] / max(query_seconds, 1e-9):.1f}"
+        elif label == "+ Caching":
+            speedup = (
+                f"x{query_times['+ Query Merging'] / max(query_seconds, 1e-9):.1f}"
+            )
+        rows.append(
+            [
+                label,
+                f"{total:.1f}s",
+                f"{query_seconds:.2f}s",
+                speedup,
+                run.engine_stats.physical_queries,
+            ]
+        )
+    rows.append(["paper: Naive", "2587s", "2415s", "", ""])
+    rows.append(["paper: + Query Merging", "151s", "39s", "x61.9", ""])
+    rows.append(["paper: + Caching", "128s", "18s", "x2.1", ""])
+
+    # Timed unit: one merged+cached batch evaluation.
+    from repro.core.checker import AggChecker
+
+    case = corpus.cases[0]
+    checker = AggChecker(case.database)
+    benchmark(lambda: checker.check_claims(case.document, case.claims))
+
+    table = format_table(
+        f"Table 6: run time ladder ({LADDER_CASES} cases)",
+        ["Version", "Total", "Query", "Speedup", "Physical queries"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    # Shape: merging must dominate; caching adds another factor.
+    assert query_times["Naive"] > 5 * query_times["+ Query Merging"]
+    assert query_times["+ Query Merging"] >= query_times["+ Caching"]

@@ -1,0 +1,42 @@
+"""Table 8: user survey — preferences between SQL and the AggChecker.
+
+Paper counts (8 users): Overall 0/0/0/3/5, Learning 0/0/0/2/6,
+Correct Claims 0/0/0/1/7, Incorrect Claims 0/0/1/3/4 over the scale
+SQL++ / SQL+ / SQL~AC / AC+ / AC++.
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import format_table
+
+_BUCKETS = ("SQL++", "SQL+", "SQL~AC", "AC+", "AC++")
+_PAPER = {
+    "Overall": (0, 0, 0, 3, 5),
+    "Learning": (0, 0, 0, 2, 6),
+    "Correct Claims": (0, 0, 0, 1, 7),
+    "Incorrect Claims": (0, 0, 1, 3, 4),
+}
+
+
+def test_table8_survey(benchmark, study, capsys):
+    survey = benchmark(study.survey)
+
+    rows = []
+    for category, counts in survey.items():
+        rows.append([category] + [counts[bucket] for bucket in _BUCKETS])
+        rows.append(
+            [f"paper: {category}"] + list(_PAPER.get(category, ("?",) * 5))
+        )
+    table = format_table(
+        "Table 8: results of user survey (measured / paper)",
+        ["Criterion", *_BUCKETS],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    # Shape: preferences concentrate on the AggChecker side.
+    for counts in survey.values():
+        ac_side = counts["AC+"] + counts["AC++"]
+        sql_side = counts["SQL+"] + counts["SQL++"]
+        assert ac_side > sql_side

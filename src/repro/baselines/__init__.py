@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against (Table 5).
+
+- :class:`~repro.baselines.claimbuster.ClaimBusterFM`: matches claims
+  against a repository of manually fact-checked statements (Max /
+  majority-vote variants).
+- :class:`~repro.baselines.nalir.ClaimBusterKB`: generates questions from
+  claims and sends them to a NaLIR-style natural-language query interface
+  over the database.
+
+Both reproduce the paper's failure analysis: fact repositories miss
+"long tail" claims, and NLQ translation breaks on multi-claim,
+context-dependent sentences.
+"""
+
+from repro.baselines.claimbuster import ClaimBusterFM, FmMode
+from repro.baselines.factbase import FactRepository, build_fact_repository
+from repro.baselines.nalir import ClaimBusterKB, NaLIR, TranslationError
+from repro.baselines.questiongen import generate_questions
+
+__all__ = [
+    "ClaimBusterFM",
+    "ClaimBusterKB",
+    "FactRepository",
+    "FmMode",
+    "NaLIR",
+    "TranslationError",
+    "build_fact_repository",
+    "generate_questions",
+]

@@ -1,0 +1,66 @@
+"""ClaimBuster-FM: fact-matching against a verified-statement repository.
+
+Two aggregation variants from the paper: ``Max`` uses the truth value of
+the most similar repository statement; ``MV`` takes a similarity-weighted
+majority vote over the top matches. A claim is flagged as erroneous when
+the aggregated truth value is False. Similarity is TF-IDF over our IR
+engine — the same family of scoring ClaimBuster's retrieval uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.baselines.factbase import FactRepository
+from repro.ir.analysis import Analyzer
+from repro.ir.index import InvertedIndex
+from repro.ir.search import search
+from repro.text.claims import Claim
+
+
+class FmMode(enum.Enum):
+    MAX = "max"
+    MV = "majority_vote"
+
+
+class ClaimBusterFM:
+    """Verify claims by fact matching (paper baseline)."""
+
+    def __init__(
+        self,
+        repository: FactRepository,
+        mode: FmMode = FmMode.MAX,
+        top_k: int = 5,
+        min_similarity: float = 0.01,
+    ) -> None:
+        self.mode = mode
+        self.top_k = top_k
+        self.min_similarity = min_similarity
+        self._index = InvertedIndex(Analyzer())
+        for fact in repository.facts:
+            self._index.add(fact, text=fact.statement)
+
+    def predict_correct(self, claim: Claim) -> bool:
+        """True if the claim is predicted correct (not flagged)."""
+        terms = {
+            token.lower: 1.0
+            for token in claim.sentence.tokens
+            if token.is_word
+        }
+        hits = [
+            hit
+            for hit in search(self._index, terms, top_k=self.top_k)
+            if hit.score >= self.min_similarity
+        ]
+        if not hits:
+            # No matching verified statement: default to "correct" —
+            # fact-checkers cannot flag what they never checked.
+            return True
+        if self.mode is FmMode.MAX:
+            return hits[0].payload.truth
+        weight_true = sum(h.score for h in hits if h.payload.truth)
+        weight_false = sum(h.score for h in hits if not h.payload.truth)
+        return weight_true >= weight_false
+
+    def flags(self, claim: Claim) -> bool:
+        return not self.predict_correct(claim)

@@ -1,0 +1,84 @@
+"""Fact repository: the knowledge source behind ClaimBuster-FM.
+
+ClaimBuster-FM "matches input text against a database containing manually
+verified statements with truth values" (paper Section 7.3). Real
+repositories (PolitiFact et al.) cover *popular* claims — political
+statements repeated across outlets — but not the long tail of
+data-specific claims. The synthetic repository reproduces that coverage
+profile: a sample of claims from *other* articles (popular topics repeat
+across outlets) plus evergreen general statements, each with a truth
+label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.generator import Corpus
+
+_GENERIC_FACTS = (
+    ("the population of the united states is over three hundred million", True),
+    ("the earth orbits the sun once a year", True),
+    ("the great wall of china is visible from the moon", False),
+    ("a marathon is longer than forty kilometers", True),
+    ("the average human body temperature is ninety-eight degrees", True),
+    ("lightning never strikes the same place twice", False),
+    ("the amazon is the longest river in the world", False),
+    ("most of the earth's surface is covered by water", True),
+    ("the senate has one hundred members", True),
+    ("a leap year happens every two years", False),
+)
+
+
+@dataclass(frozen=True)
+class VerifiedFact:
+    """One manually fact-checked statement."""
+
+    statement: str
+    truth: bool
+
+
+@dataclass
+class FactRepository:
+    facts: list[VerifiedFact]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+
+def build_fact_repository(
+    corpus: Corpus,
+    exclude_case_id: str | None = None,
+    coverage: float = 0.25,
+    suspicious_coverage: float = 0.7,
+    label_noise: float = 0.25,
+    seed: int = 7,
+) -> FactRepository:
+    """Sample a repository from the corpus.
+
+    Human fact-checkers select *suspicious* statements: erroneous claims
+    enter the repository at ``suspicious_coverage`` while mundane correct
+    claims enter at ``coverage``, so repositories skew toward "False"
+    verdicts (as PolitiFact-style archives do). Claims of the article
+    under test are excluded — its specific numbers were never checked by
+    anyone, which is exactly the long-tail problem the paper identifies.
+
+    ``label_noise`` models the transfer gap: a verdict recorded for a
+    *similar-but-different* statement (other outlet, other time window)
+    is the wrong verdict for this one — the paper traced ClaimBuster-FM's
+    apparent recall to exactly such spurious matches.
+    """
+    rng = random.Random(seed)
+    facts = [VerifiedFact(text, truth) for text, truth in _GENERIC_FACTS]
+    for case in corpus.cases:
+        if case.case_id == exclude_case_id:
+            continue
+        for claim, truth in zip(case.claims, case.ground_truth):
+            rate = coverage if truth.is_correct else suspicious_coverage
+            if rng.random() < rate:
+                label = truth.is_correct
+                if rng.random() < label_noise:
+                    label = not label
+                facts.append(VerifiedFact(claim.sentence.text, label))
+    return FactRepository(facts)

@@ -1,0 +1,164 @@
+"""Command-line interface: the AggChecker as a shippable tool.
+
+Usage::
+
+    python -m repro check --csv data.csv --article article.html
+    python -m repro check --csv a.csv --csv b.csv --article draft.html \
+        --data-dict dict.csv --hits 30 --json
+    python -m repro corpus-stats
+
+``check`` loads one or more CSV files as tables, verifies the article
+(HTML subset or plain text), and prints spell-checker markup; ``--json``
+emits a machine-readable report instead. ``corpus-stats`` prints the
+statistics of the built-in evaluation corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core import AggChecker, render_markup
+from repro.core.config import AggCheckerConfig
+from repro.db.csvio import load_csv
+from repro.db.datadict import load_data_dictionary
+from repro.db.schema import Database
+from repro.db.sql import render_sql
+from repro.errors import ReproError
+from repro.text.document import Document
+from repro.text.htmlparse import parse_html
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AggChecker: verify text summaries of relational data sets",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="verify an article against CSV data")
+    check.add_argument(
+        "--csv",
+        action="append",
+        required=True,
+        metavar="FILE",
+        help="CSV data file (repeat for multiple tables)",
+    )
+    check.add_argument(
+        "--article", required=True, metavar="FILE", help="article (HTML or text)"
+    )
+    check.add_argument(
+        "--data-dict", metavar="FILE", help="data dictionary (column,description)"
+    )
+    check.add_argument(
+        "--hits", type=int, default=20, help="predicate fragments per claim"
+    )
+    check.add_argument(
+        "--p-true", type=float, default=0.999, help="assumed P(claim correct)"
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+
+    commands.add_parser(
+        "corpus-stats", help="statistics of the built-in evaluation corpus"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "check":
+            return _run_check(args)
+        return _run_corpus_stats()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_check(args) -> int:
+    tables = [load_csv(path) for path in args.csv]
+    database = Database("cli", tables)
+    dictionary = (
+        load_data_dictionary(args.data_dict) if args.data_dict else None
+    )
+    config = AggCheckerConfig(predicate_hits=args.hits)
+    config = config.with_em(p_true=args.p_true)
+    checker = AggChecker(database, config, dictionary)
+
+    document = _load_document(args.article)
+    report = checker.check_document(document)
+
+    if args.json:
+        print(json.dumps(_report_json(report), indent=2))
+    else:
+        print(render_markup(report.verdicts))
+        print()
+        for verdict in report.verdicts:
+            print(f"  {verdict.claim.mention.text!r}: {verdict.hover_text}")
+        flagged = sum(1 for v in report.verdicts if v.status.flagged)
+        print(
+            f"\n{len(report.verdicts)} claims checked, {flagged} flagged, "
+            f"{report.total_seconds:.2f}s"
+        )
+    return 1 if any(v.status.flagged for v in report.verdicts) else 0
+
+
+def _load_document(path_text: str) -> Document:
+    path = Path(path_text)
+    text = path.read_text(encoding="utf-8-sig")
+    if "<" in text and ">" in text:
+        return parse_html(text)
+    paragraphs = [p for p in text.split("\n\n") if p.strip()]
+    return Document.from_plain_text(path.stem, paragraphs)
+
+
+def _report_json(report) -> dict:
+    claims = []
+    for verdict in report.verdicts:
+        claims.append(
+            {
+                "text": verdict.claim.mention.text,
+                "sentence": verdict.claim.sentence.text,
+                "claimed_value": verdict.claim.claimed_value,
+                "status": verdict.status.value,
+                "top_query": (
+                    render_sql(verdict.top_query) if verdict.top_query else None
+                ),
+                "top_result": verdict.top_result,
+                "probability_correct": round(verdict.probability_correct, 4),
+            }
+        )
+    return {
+        "claims": claims,
+        "seconds": round(report.total_seconds, 3),
+        "candidate_queries": report.engine_stats.queries_requested,
+        "physical_queries": report.engine_stats.physical_queries,
+    }
+
+
+def _run_corpus_stats() -> int:
+    from repro.corpus import generate_corpus
+
+    corpus = generate_corpus()
+    print(f"articles: {len(corpus)}")
+    print(f"claims: {corpus.total_claims}")
+    print(
+        f"erroneous: {corpus.erroneous_claims} ({corpus.error_rate:.1%}), "
+        f"in {corpus.cases_with_errors} articles"
+    )
+    print(f"predicate histogram: {corpus.predicate_histogram()}")
+    coverage = corpus.characteristic_coverage(3)
+    print(
+        "top-3 characteristic coverage: "
+        + ", ".join(f"{k}={v:.1f}%" for k, v in coverage.items())
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The AggChecker: verify text summaries of relational data sets.
+
+Public entry point::
+
+    from repro.core import AggChecker
+
+    checker = AggChecker(database)
+    report = checker.check_html(html_text)
+    for verdict in report.verdicts:
+        print(verdict.claim, verdict.status)
+"""
+
+from repro.core.checker import AggChecker, CheckReport
+from repro.core.config import AggCheckerConfig
+from repro.core.interactive import InteractiveSession, Resolution
+from repro.core.verdict import ClaimVerdict, VerdictStatus, render_markup
+
+__all__ = [
+    "AggChecker",
+    "AggCheckerConfig",
+    "CheckReport",
+    "ClaimVerdict",
+    "InteractiveSession",
+    "Resolution",
+    "VerdictStatus",
+    "render_markup",
+]

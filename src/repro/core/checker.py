@@ -1,0 +1,160 @@
+"""The AggChecker pipeline facade (paper Figure 1).
+
+Wires together: fragment extraction and indexing (once per database),
+claim detection, keyword matching, candidate construction, EM inference
+with massive-scale evaluation, and verdict generation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import AggCheckerConfig
+from repro.core.verdict import ClaimVerdict, make_verdict
+from repro.db.engine import EngineStats, QueryEngine
+from repro.db.schema import Database
+from repro.fragments.extract import extract_fragments
+from repro.fragments.indexer import FragmentIndex
+from repro.matching.matcher import keyword_match
+from repro.model.candidates import build_candidates
+from repro.model.em import InferenceResult, query_and_learn
+from repro.model.priors import Priors
+from repro.fragments.indexer import RelevanceScores
+from repro.text.claims import Claim, detect_claims
+from repro.text.document import Document
+from repro.text.htmlparse import parse_html
+
+#: Keyword-score share granted to predicate fragments pooled in from other
+#: claims of the same document (they enter the space with low relevance and
+#: can only win through priors and evaluation results).
+_POOL_SHARE = 0.02
+
+
+def _pool_predicate_fragments(scores: dict[Claim, RelevanceScores]) -> None:
+    """Share predicate fragments across claims of one document.
+
+    Claims in a document are semantically correlated; the paper pools the
+    literals of *all* claims when generating cube cells (Section 6.3) and
+    relies on document priors to route shared restrictions ("a restriction
+    is usually placed on column Games", Example 5). Pooled fragments get a
+    small fraction of the claim's top score so keyword evidence still
+    dominates.
+    """
+    union: dict = {}
+    for relevance in scores.values():
+        for fragment, score in relevance.predicates.items():
+            union[fragment] = max(union.get(fragment, 0.0), score)
+    for relevance in scores.values():
+        if not relevance.predicates:
+            continue
+        floor = max(relevance.predicates.values()) * _POOL_SHARE
+        for fragment in union:
+            if fragment not in relevance.predicates:
+                relevance.predicates[fragment] = floor
+
+
+@dataclass
+class CheckReport:
+    """Everything produced by one document verification run."""
+
+    document: Document
+    claims: list[Claim]
+    verdicts: list[ClaimVerdict]
+    inference: InferenceResult
+    engine_stats: EngineStats
+    total_seconds: float
+
+    @property
+    def priors(self) -> Priors | None:
+        return self.inference.priors
+
+    def verdict_for(self, claim: Claim) -> ClaimVerdict:
+        for verdict in self.verdicts:
+            if verdict.claim is claim:
+                return verdict
+        raise KeyError(f"no verdict for {claim!r}")
+
+    def flagged_claims(self) -> list[Claim]:
+        return [v.claim for v in self.verdicts if v.status.flagged]
+
+
+class AggChecker:
+    """Verifies text summaries of one relational database.
+
+    Fragment extraction and indexing happen once at construction; each
+    :meth:`check_document` call runs the full verification pipeline on one
+    document. The query engine (and its result cache) persists across
+    documents for the same database.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: AggCheckerConfig | None = None,
+        data_dictionary: dict[str, str] | None = None,
+    ) -> None:
+        self.database = database
+        self.config = config or AggCheckerConfig()
+        self.catalog = extract_fragments(
+            database, self.config.extraction, data_dictionary
+        )
+        self.index = FragmentIndex(self.catalog)
+        self.engine = QueryEngine(database, self.config.execution_mode)
+
+    def check_html(self, html: str) -> CheckReport:
+        """Parse HTML and verify the resulting document."""
+        return self.check_document(parse_html(html))
+
+    def interactive(self, report: CheckReport):
+        """An :class:`InteractiveSession` wired to this checker's engine."""
+        from repro.core.interactive import InteractiveSession
+
+        return InteractiveSession(report, self.engine)
+
+    def check_text(self, title: str, paragraphs: list[str]) -> CheckReport:
+        """Verify a flat plain-text document."""
+        return self.check_document(Document.from_plain_text(title, paragraphs))
+
+    def check_document(self, document: Document) -> CheckReport:
+        """Run the full pipeline: detect, match, infer, verdict."""
+        started = time.perf_counter()
+        claims = detect_claims(document, self.config.claim_detection)
+        return self._check(document, claims, started)
+
+    def check_claims(self, document: Document, claims: list[Claim]) -> CheckReport:
+        """Verify a caller-provided claim list (corpus ground truth mode)."""
+        return self._check(document, claims, time.perf_counter())
+
+    def _check(
+        self, document: Document, claims: list[Claim], started: float
+    ) -> CheckReport:
+        scores = keyword_match(
+            claims,
+            self.index,
+            self.config.context,
+            predicate_hits=self.config.predicate_hits,
+            column_hits=self.config.column_hits,
+        )
+        if self.config.pool_predicates:
+            _pool_predicate_fragments(scores)
+        spaces = {
+            claim: build_candidates(claim, scores[claim], self.config.candidates)
+            for claim in claims
+        }
+        inference = query_and_learn(
+            spaces, self.catalog, self.engine, self.config.em
+        )
+        verdicts = [
+            make_verdict(claim, inference.distributions[claim])
+            for claim in claims
+        ]
+        elapsed = time.perf_counter() - started
+        return CheckReport(
+            document=document,
+            claims=claims,
+            verdicts=verdicts,
+            inference=inference,
+            engine_stats=self.engine.stats,
+            total_seconds=elapsed,
+        )

@@ -1,0 +1,49 @@
+"""Top-level AggChecker configuration.
+
+One frozen object bundles every knob of the pipeline; the ablation harness
+derives variants from the default via :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.db.engine import ExecutionMode
+from repro.fragments.extract import ExtractionConfig
+from repro.matching.context import ContextConfig
+from repro.model.candidates import CandidateConfig
+from repro.model.em import EmConfig
+from repro.text.claims import ClaimDetectionConfig
+
+
+@dataclass(frozen=True)
+class AggCheckerConfig:
+    """All pipeline knobs with the paper's default settings."""
+
+    #: Keyword-context sources (Algorithm 2 / Table 5 block 1).
+    context: ContextConfig = field(default_factory=ContextConfig)
+    #: Fragment extraction (synonyms, distinct-value caps).
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    #: Claim detection heuristics.
+    claim_detection: ClaimDetectionConfig = field(
+        default_factory=ClaimDetectionConfig
+    )
+    #: Candidate-space bounds (max predicates per claim, subset cap).
+    candidates: CandidateConfig = field(default_factory=CandidateConfig)
+    #: Probabilistic model / EM settings (pT, iterations, ablations).
+    em: EmConfig = field(default_factory=EmConfig)
+    #: "# Hits": predicate fragments retrieved per claim (Table 5 block 3).
+    predicate_hits: int = 20
+    #: Aggregation-column fragments retrieved per claim (Figure 13 right).
+    column_hits: int = 10
+    #: Query-engine execution strategy (Table 6 ladder).
+    execution_mode: ExecutionMode = ExecutionMode.MERGED_CACHED
+    #: Share predicate fragments across the document's claims (paper
+    #: Section 6.3 pools literals "for any claim in the document").
+    pool_predicates: bool = True
+
+    def with_em(self, **changes) -> "AggCheckerConfig":
+        return replace(self, em=replace(self.em, **changes))
+
+    def with_context(self, **changes) -> "AggCheckerConfig":
+        return replace(self, context=replace(self.context, **changes))

@@ -1,0 +1,28 @@
+"""Synthetic test-case corpus (substitute for the paper's 53 articles).
+
+The paper evaluates on 53 scraped articles (538, NYT, Vox, Stack Overflow,
+Wikipedia) with 392 claims, which are not available offline. This package
+generates a corpus calibrated to the paper's reported statistics
+(Appendix B): ~53 articles, ~7 claims each, ~12% erroneous claims, themed
+documents whose top-3 query characteristics cover ~90% of claims, and a
+predicate-count mix of roughly 17% / 61% / 23% for zero / one / two
+predicates. The paper's NFL-suspensions running example ships as a
+hand-built test case (:mod:`repro.corpus.builtin`).
+"""
+
+from repro.corpus.builtin import nfl_suspensions_case
+from repro.corpus.generator import Corpus, CorpusConfig, generate_corpus
+from repro.corpus.spec import ColumnSpec, GroundTruthClaim, TestCase, ThemeSpec
+from repro.corpus.themes import THEMES
+
+__all__ = [
+    "ColumnSpec",
+    "Corpus",
+    "CorpusConfig",
+    "GroundTruthClaim",
+    "THEMES",
+    "TestCase",
+    "ThemeSpec",
+    "generate_corpus",
+    "nfl_suspensions_case",
+]

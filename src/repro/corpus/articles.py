@@ -1,0 +1,615 @@
+"""Article generation: themed documents with ground-truth claims.
+
+Each article is built around a *document theme* (concentrated choices of
+aggregation function, aggregation column, and predicate columns — the
+property measured in the paper's Figure 9b), rendered into a hierarchical
+HTML document. Difficulty is injected the way the paper describes real
+articles behaving:
+
+- predicate context moved out of the claim sentence into headlines or
+  paragraph-leading sentences (Algorithm 2's reason to exist),
+- value phrases that differ from stored data values ("lifetime bans" vs
+  "indef"),
+- claims that do not state their aggregation function explicitly.
+
+Roughly 12% of claims are perturbed into errors (clustered into a third of
+the articles, matching Appendix B), and every claim's label is verified
+with the admissible-rounding predicate before the article is emitted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.spec import ColumnSpec, GroundTruthClaim, TestCase, ThemeSpec
+from repro.db.aggregates import AggregateFunction
+from repro.db.executor import execute_query
+from repro.db.joins import JoinGraph
+from repro.db.predicates import Predicate
+from repro.db.query import AggregateSpec, ColumnRef, STAR, SimpleAggregateQuery
+from repro.db.schema import Database
+from repro.db.sql import render_sql
+from repro.errors import CorpusError
+from repro.nlp.numbers import extract_number_mentions, round_to_significant, rounds_to
+from repro.nlp.tokens import tokenize_with_punct
+
+_SPELLED = {
+    1: "one", 2: "two", 3: "three", 4: "four", 5: "five", 6: "six",
+    7: "seven", 8: "eight", 9: "nine", 10: "ten", 11: "eleven", 12: "twelve",
+}
+
+_FILLER_SENTENCES = (
+    "The data tells a remarkably consistent story.",
+    "Readers kept asking for the details behind these figures.",
+    "The pattern holds across the whole data set.",
+    "That finding surprised almost everybody we talked to.",
+    "The records were collected and cleaned by hand.",
+    "Context matters when reading tables like this.",
+    "We double-checked the raw files before publishing.",
+)
+
+_PARAGRAPH_LEADS = (
+    "This section focuses on {phrase}.",
+    "Consider the records about {phrase}.",
+    "Now look at {phrase} specifically.",
+    "The story is different for {phrase}.",
+)
+
+_HEADLINE_TEMPLATES = (
+    "{phrase}",
+    "A closer look at {phrase}",
+    "What the data says about {phrase}",
+)
+
+
+@dataclass(frozen=True)
+class ArticleConfig:
+    """Knobs calibrated to the paper's corpus statistics (Appendix B)."""
+
+    claims_range: tuple[int, int] = (5, 11)
+    #: zero / one / two predicate shares (paper Figure 9c: 17/61/23).
+    predicate_mix: tuple[float, float, float] = (0.17, 0.60, 0.23)
+    #: Fraction of articles containing at least one error (17/53).
+    error_article_rate: float = 0.32
+    #: Per-claim error rate inside an error-prone article (0.32*0.36~12%).
+    error_claim_rate: float = 0.36
+    #: Chance that a section-shared predicate lives only in the headline.
+    headline_context_rate: float = 0.55
+    #: Chance that a predicate is conveyed by the paragraph lead sentence.
+    paragraph_context_rate: float = 0.2
+    #: Chance that a non-shared predicate is left implicit — mentioned
+    #: nowhere in the text, as real articles routinely do ("claim sentence
+    #: is often missing required context", paper Section 1).
+    implicit_context_rate: float = 0.3
+    #: Chance to spell small integer values out as words.
+    spell_rate: float = 0.5
+    #: Chance of a hedged claim ("more than 120") — correct to a human
+    #: reader but outside the admissible-rounding model, so the system
+    #: flags it (a false-positive source real articles exhibit).
+    hedge_rate: float = 0.1
+    max_claim_attempts: int = 40
+
+
+@dataclass
+class _PlannedClaim:
+    query: SimpleAggregateQuery
+    truth: GroundTruthClaim
+    sentence: str
+    section_value: str | None  # section-shared predicate value (or None)
+    context_mode: str
+
+
+class ArticleBuilder:
+    """Generates one article for a theme + database pair."""
+
+    def __init__(
+        self,
+        theme: ThemeSpec,
+        database: Database,
+        rng: random.Random,
+        config: ArticleConfig | None = None,
+    ) -> None:
+        self.theme = theme
+        self.database = database
+        self.table = database.table(theme.table_name)
+        self.rng = rng
+        self.config = config or ArticleConfig()
+        self._join_graph = JoinGraph(database)
+        # Document theme: concentrated function / column / predicate focus.
+        self.primary_function = self._pick_primary_function()
+        self.primary_predicate = theme.predicate_targets[0]
+        self.secondary_predicates = list(theme.predicate_targets[1:])
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def build(self, case_id: str) -> TestCase:
+        error_prone = self.rng.random() < self.config.error_article_rate
+        n_claims = self.rng.randint(*self.config.claims_range)
+        section_values = self._section_values()
+        planned: list[_PlannedClaim] = []
+        for index in range(n_claims):
+            section_value = section_values[index % len(section_values)]
+            claim = self._plan_claim(section_value, error_prone)
+            if claim is not None:
+                planned.append(claim)
+        if len(planned) < 3:
+            raise CorpusError(
+                f"theme {self.theme.name}: could not plan enough claims"
+            )
+        # Render sections in a fixed order and keep ground truth aligned
+        # with the claims' document order.
+        ordered = [
+            claim
+            for value in section_values
+            for claim in planned
+            if claim.section_value == value
+        ]
+        html = self._render_html(ordered, section_values)
+        case = TestCase(
+            case_id=case_id,
+            theme_name=self.theme.name,
+            html=html,
+            database=self.database,
+            ground_truth=[claim.truth for claim in ordered],
+        )
+        case.claims  # force alignment validation
+        return case
+
+    # ------------------------------------------------------------------
+    # claim planning
+    # ------------------------------------------------------------------
+
+    def _pick_primary_function(self) -> AggregateFunction:
+        choices = [
+            (AggregateFunction.COUNT, 0.5),
+            (AggregateFunction.PERCENTAGE, 0.2),
+            (AggregateFunction.SUM, 0.1),
+            (AggregateFunction.AVG, 0.1),
+            (AggregateFunction.COUNT_DISTINCT, 0.05),
+            (AggregateFunction.MAX, 0.05),
+        ]
+        functions, weights = zip(*choices)
+        return self.rng.choices(functions, weights=weights, k=1)[0]
+
+    def _section_values(self) -> list[str]:
+        column = self.theme.column(self.primary_predicate)
+        values = [
+            str(v)
+            for v in self.table.distinct_values(column.name, limit=10)
+        ]
+        self.rng.shuffle(values)
+        count = min(len(values), self.rng.randint(2, 3))
+        return values[:count] or [""]
+
+    def _plan_claim(
+        self, section_value: str, error_prone: bool
+    ) -> _PlannedClaim | None:
+        for _ in range(self.config.max_claim_attempts):
+            claim = self._try_plan_claim(section_value, error_prone)
+            if claim is not None:
+                return claim
+        return None
+
+    def _try_plan_claim(
+        self, section_value: str, error_prone: bool
+    ) -> _PlannedClaim | None:
+        function = self._claim_function()
+        n_predicates = self._claim_predicate_count(function)
+        predicates = self._claim_predicates(n_predicates, section_value)
+        if len(predicates) < n_predicates:
+            return None
+        aggregate = self._claim_aggregate(function)
+        if aggregate is None:
+            return None
+        if function is AggregateFunction.CONDITIONAL_PROBABILITY:
+            condition, *event = predicates
+            query = SimpleAggregateQuery(aggregate, tuple(event), condition)
+        else:
+            query = SimpleAggregateQuery(aggregate, tuple(predicates))
+        result = execute_query(self.database, query, self._join_graph)
+        if not isinstance(result, (int, float)):
+            return None
+        claimed = self._choose_claimed_value(function, result)
+        if claimed is None:
+            return None
+        is_correct = True
+        hedge_prefix = ""
+        if (
+            function in (AggregateFunction.COUNT, AggregateFunction.SUM)
+            and result >= 20
+            and self.rng.random() < self.config.hedge_rate
+        ):
+            hedged = self._hedge_value(result)
+            if hedged is not None:
+                claimed = hedged
+                hedge_prefix = self.rng.choice(("more than ", "well over "))
+        elif error_prone and self.rng.random() < self.config.error_claim_rate:
+            wrong = self._perturb(result, claimed)
+            if wrong is not None:
+                claimed = wrong
+                is_correct = False
+        rendered, spelled = self._render_value(function, claimed)
+        rendered = f"{hedge_prefix}{rendered}" if hedge_prefix else rendered
+        sentence, context_mode = self._render_sentence(
+            function, aggregate, query, rendered, section_value
+        )
+        if sentence is None:
+            return None
+        if not self._sentence_is_clean(sentence, claimed):
+            return None
+        truth = GroundTruthClaim(
+            sql=render_sql(query),
+            query=query,
+            true_result=float(result),
+            claimed_value=float(claimed),
+            claimed_text=rendered,
+            is_correct=is_correct,
+            context_mode=context_mode,
+        )
+        return _PlannedClaim(query, truth, sentence, section_value, context_mode)
+
+    def _claim_function(self) -> AggregateFunction:
+        # Strong document theme: primary function dominates (Figure 9b).
+        if self.rng.random() < 0.7:
+            return self.primary_function
+        pool = [
+            AggregateFunction.COUNT,
+            AggregateFunction.PERCENTAGE,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+            AggregateFunction.COUNT_DISTINCT,
+            AggregateFunction.CONDITIONAL_PROBABILITY,
+        ]
+        return self.rng.choice(pool)
+
+    def _claim_predicate_count(self, function: AggregateFunction) -> int:
+        if function is AggregateFunction.CONDITIONAL_PROBABILITY:
+            return 2
+        mix = self.config.predicate_mix
+        n = self.rng.choices((0, 1, 2), weights=mix, k=1)[0]
+        if function is AggregateFunction.PERCENTAGE:
+            n = max(n, 1)
+        return n
+
+    def _claim_predicates(
+        self, count: int, section_value: str
+    ) -> list[Predicate]:
+        if count == 0:
+            return []
+        predicates: list[Predicate] = []
+        columns: list[str] = []
+        # The section's shared predicate comes first most of the time.
+        if section_value and self.rng.random() < 0.75:
+            columns.append(self.primary_predicate)
+        pool = [c for c in self.secondary_predicates if c not in columns]
+        self.rng.shuffle(pool)
+        columns.extend(pool)
+        for name in columns[:count]:
+            column = self.theme.column(name)
+            if name == self.primary_predicate and section_value:
+                value = self._data_value(name, section_value)
+            else:
+                choices = self.table.distinct_values(name, limit=12)
+                if not choices:
+                    continue
+                value = self.rng.choice(choices)
+            if value is None:
+                continue
+            predicates.append(
+                Predicate(ColumnRef(self.table.name, name), value)
+            )
+        return predicates
+
+    def _data_value(self, column_name: str, wanted: str):
+        for value in self.table.distinct_values(column_name, limit=50):
+            if str(value) == wanted:
+                return value
+        return None
+
+    def _claim_aggregate(
+        self, function: AggregateFunction
+    ) -> AggregateSpec | None:
+        if function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.PERCENTAGE,
+            AggregateFunction.CONDITIONAL_PROBABILITY,
+        ):
+            return AggregateSpec(function, STAR)
+        if function is AggregateFunction.COUNT_DISTINCT:
+            entity_columns = [
+                spec for spec in self.theme.columns if spec.kind == "entity"
+            ]
+            if not entity_columns:
+                return None
+            column = self.rng.choice(entity_columns)
+            return AggregateSpec(
+                function, ColumnRef(self.table.name, column.name)
+            )
+        numeric_targets = [
+            name for name in self.theme.aggregation_targets if name
+        ]
+        if not numeric_targets:
+            return None
+        name = self.rng.choice(numeric_targets)
+        return AggregateSpec(function, ColumnRef(self.table.name, name))
+
+    # ------------------------------------------------------------------
+    # value selection and rendering
+    # ------------------------------------------------------------------
+
+    def _choose_claimed_value(
+        self, function: AggregateFunction, result: float
+    ) -> float | None:
+        if function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_DISTINCT,
+        ):
+            if result <= 0:
+                return None
+            return float(result)
+        if function.is_ratio:
+            if not 0.5 <= result <= 99.5:
+                return None
+            candidate = float(round(result))
+            if rounds_to(result, candidate):
+                return candidate
+            candidate = round_to_significant(result, 2)
+            return candidate if rounds_to(result, candidate) else None
+        # Sum / Avg / Min / Max: round to 2-3 significant digits.
+        digits = self.rng.choice((2, 3))
+        candidate = round_to_significant(result, digits)
+        if candidate == 0 or not rounds_to(result, candidate):
+            return None
+        return candidate
+
+    def _hedge_value(self, result: float) -> float | None:
+        """A round number strictly below the result that no admissible
+        rounding reaches (the hedge carries the truth, not the digits)."""
+        import math
+
+        for digits in (1, 2):
+            magnitude = math.floor(math.log10(abs(result)))
+            unit = 10.0 ** (magnitude - digits + 1)
+            floored = math.floor(result / unit) * unit
+            if (
+                0 < floored < result
+                and not rounds_to(result, floored)
+                and _format_roundtrips(floored)
+            ):
+                return floored
+        return None
+
+    def _perturb(self, result: float, claimed: float) -> float | None:
+        """A wrong claimed value that no admissible rounding rescues."""
+        deltas = [1.0, -1.0, 2.0, -2.0]
+        magnitude = max(abs(claimed), 1.0)
+        scaled = [
+            round_to_significant(claimed * factor, 3)
+            for factor in (1.25, 0.75, 1.5)
+        ]
+        candidates = [claimed + d * _last_digit_unit(claimed) for d in deltas]
+        candidates += [claimed + d for d in deltas if magnitude < 10]
+        candidates += scaled
+        for candidate in candidates:
+            if candidate <= 0:
+                continue
+            if rounds_to(result, candidate):
+                continue
+            if _format_roundtrips(candidate):
+                return candidate
+        return None
+
+    def _render_value(
+        self, function: AggregateFunction, claimed: float
+    ) -> tuple[str, bool]:
+        is_int = float(claimed).is_integer()
+        value = int(claimed) if is_int else claimed
+        if (
+            is_int
+            and 1 <= value <= 12
+            and self.rng.random() < self.config.spell_rate
+        ):
+            return _SPELLED[int(value)], True
+        if is_int:
+            return (f"{int(value):,}" if value >= 1000 else str(int(value))), False
+        return _format_float(claimed), False
+
+    # ------------------------------------------------------------------
+    # sentence rendering
+    # ------------------------------------------------------------------
+
+    def _render_sentence(
+        self,
+        function: AggregateFunction,
+        aggregate: AggregateSpec,
+        query: SimpleAggregateQuery,
+        rendered_value: str,
+        section_value: str,
+    ) -> tuple[str | None, str]:
+        # Decide which predicates appear in the sentence vs the context.
+        context_mode = "sentence"
+        sentence_predicates = list(query.all_predicates)
+        shared = [
+            p
+            for p in sentence_predicates
+            if p.column.column == self.primary_predicate
+            and str(p.value) == section_value
+        ]
+        if shared and self.rng.random() < self.config.headline_context_rate:
+            for predicate in shared:
+                sentence_predicates.remove(predicate)
+            context_mode = "headline"
+        elif shared and self.rng.random() < self.config.paragraph_context_rate:
+            for predicate in shared:
+                sentence_predicates.remove(predicate)
+            context_mode = "paragraph"
+        elif (
+            len(sentence_predicates) > 1
+            and self.rng.random() < self.config.implicit_context_rate
+        ):
+            # Drop one predicate from the text entirely: the reader is
+            # expected to infer it, the system has to guess.
+            dropped = self.rng.choice(sentence_predicates)
+            sentence_predicates.remove(dropped)
+            context_mode = "implicit"
+        predicate_phrase = self._predicate_phrase(sentence_predicates)
+        text = self._sentence_template(
+            function, aggregate, rendered_value, predicate_phrase
+        )
+        return text, context_mode
+
+    def _predicate_phrase(self, predicates: list[Predicate]) -> str:
+        parts = []
+        for predicate in predicates:
+            column = self.theme.column(predicate.column.column)
+            phrase = column.phrase_for(predicate.value)
+            if column.kind == "year":
+                parts.append(f"in {phrase}")
+            elif self.rng.random() < 0.5:
+                parts.append(f"for {phrase}")
+            else:
+                parts.append(f"with {column.text_phrase()} of {phrase}")
+        return " and ".join(parts)
+
+    def _sentence_template(
+        self,
+        function: AggregateFunction,
+        aggregate: AggregateSpec,
+        value: str,
+        preds: str,
+    ) -> str:
+        entity = self.theme.entity_noun
+        preds = f" {preds}" if preds else ""
+        rng = self.rng
+        if function is AggregateFunction.COUNT:
+            return rng.choice(
+                (
+                    f"There were {value} {entity}{preds}.",
+                    f"The data lists {value} {entity}{preds}.",
+                    f"In total, the records show {value} {entity}{preds}.",
+                )
+            )
+        if function is AggregateFunction.COUNT_DISTINCT:
+            phrase = self.theme.column(aggregate.column.column).text_phrase()
+            return rng.choice(
+                (
+                    f"Money went to {value} different {phrase}s{preds}.",
+                    f"The records name {value} distinct {phrase}s{preds}.",
+                )
+            )
+        if function is AggregateFunction.PERCENTAGE:
+            return rng.choice(
+                (
+                    f"{value} percent of {entity} were{preds}.",
+                    f"About {value} percent of all {entity} were{preds}.",
+                )
+            )
+        if function is AggregateFunction.CONDITIONAL_PROBABILITY:
+            return (
+                f"Among those{preds}, {value} percent of {entity} fall in "
+                "that group."
+            )
+        phrase = self.theme.column(aggregate.column.column).text_phrase()
+        if function is AggregateFunction.SUM:
+            return rng.choice(
+                (
+                    f"The combined {phrase}{preds} reached {value}.",
+                    f"Altogether the total {phrase}{preds} came to {value}.",
+                )
+            )
+        if function is AggregateFunction.AVG:
+            return rng.choice(
+                (
+                    f"The typical {phrase}{preds} was {value}.",
+                    f"On average, the {phrase}{preds} stood at {value}.",
+                )
+            )
+        if function is AggregateFunction.MIN:
+            return f"The lowest {phrase}{preds} was {value}."
+        return f"The highest {phrase}{preds} was {value}."
+
+    def _sentence_is_clean(self, sentence: str, claimed: float) -> bool:
+        """Exactly one claim-like number, and it parses to the claimed
+        value (guarantees detect_claims alignment)."""
+        mentions = [
+            m
+            for m in extract_number_mentions(tokenize_with_punct(sentence))
+            if not m.is_ordinal and not m.is_year_like
+        ]
+        return len(mentions) == 1 and abs(mentions[0].value - claimed) < 1e-9
+
+    # ------------------------------------------------------------------
+    # document assembly
+    # ------------------------------------------------------------------
+
+    def _render_html(
+        self, planned: list[_PlannedClaim], section_values: list[str]
+    ) -> str:
+        column = self.theme.column(self.primary_predicate)
+        parts = [f"<title>{self.theme.title}</title>"]
+        for value in section_values:
+            section_claims = [c for c in planned if c.section_value == value]
+            if not section_claims:
+                continue
+            phrase = column.phrase_for(value)
+            headline = self.rng.choice(_HEADLINE_TEMPLATES).format(phrase=phrase)
+            parts.append(f"<h2>{_capitalize(headline)}</h2>")
+            parts.extend(self._render_paragraphs(section_claims, phrase))
+        return "\n".join(parts)
+
+    def _render_paragraphs(
+        self, claims: list[_PlannedClaim], phrase: str
+    ) -> list[str]:
+        paragraphs: list[str] = []
+        index = 0
+        while index < len(claims):
+            batch = claims[index : index + self.rng.randint(1, 3)]
+            index += len(batch)
+            sentences: list[str] = []
+            if any(c.context_mode == "paragraph" for c in batch):
+                lead = self.rng.choice(_PARAGRAPH_LEADS).format(phrase=phrase)
+                sentences.append(_capitalize(lead))
+            elif self.rng.random() < 0.4:
+                sentences.append(self.rng.choice(_FILLER_SENTENCES))
+            sentences.extend(c.sentence for c in batch)
+            if self.rng.random() < 0.3:
+                sentences.append(self.rng.choice(_FILLER_SENTENCES))
+            paragraphs.append(f"<p>{' '.join(sentences)}</p>")
+        return paragraphs
+
+
+def _last_digit_unit(value: float) -> float:
+    """Unit of the last significant digit (perturbation granularity)."""
+    import math
+
+    if value == 0:
+        return 1.0
+    magnitude = math.floor(math.log10(abs(value)))
+    return 10.0 ** max(magnitude - 1, 0)
+
+
+def _format_float(value: float) -> str:
+    text = f"{value:,.2f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def _format_roundtrips(value: float) -> bool:
+    """The value survives rendering and re-parsing (keeps labels exact)."""
+    from repro.nlp.numbers import extract_number_mentions
+    from repro.nlp.tokens import tokenize_with_punct
+
+    if float(value).is_integer():
+        rendered = f"{int(value):,}" if value >= 1000 else str(int(value))
+    else:
+        rendered = _format_float(value)
+    mentions = extract_number_mentions(tokenize_with_punct(rendered))
+    return bool(mentions) and abs(mentions[0].value - value) < 1e-9
+
+
+def _capitalize(text: str) -> str:
+    return text[:1].upper() + text[1:] if text else text

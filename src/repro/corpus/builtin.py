@@ -1,0 +1,113 @@
+"""Hand-built test case: the paper's NFL-suspensions running example.
+
+Reconstructs the passage from [12] (FiveThirtyEight, "The NFL's Uneven
+History Of Punishing Domestic Violence") and a data set consistent with
+it: four lifetime bans, three of them for repeated substance abuse, one
+for gambling. The third claim from the paper's Table 9 — the stale "four"
+after a data update — is available via ``stale=True``.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import GroundTruthClaim, TestCase
+from repro.db.schema import Column, ColumnType, Database, Table
+from repro.db.sql import parse_query
+
+_ROWS = [
+    ("Ray Rice", "BAL", "2", "domestic violence", 2014),
+    ("Sean Payton", "NO", "16", "bounty scandal", 2012),
+    ("Art Schlichter", "BAL", "indef", "gambling", 1983),
+    ("Stanley Wilson", "CIN", "indef", "substance abuse, repeated offense", 1989),
+    ("Dexter Manley", "WAS", "indef", "substance abuse, repeated offense", 1991),
+    ("Roy Tarpley", "DAL", "indef", "substance abuse, repeated offense", 1995),
+    ("Adam Jones", "CIN", "16", "personal conduct", 2007),
+    ("Tanard Jackson", "WAS", "16", "substance abuse", 2012),
+    ("Josh Gordon", "CLE", "16", "substance abuse", 2014),
+]
+
+#: A fifth lifetime ban added after publication (the authors' comment in
+#: Table 9: "the data was updated on Sept. 22 ... the article text should
+#: also have been updated").
+_UPDATE_ROW = ("Late Addition", "SEA", "indef", "personal conduct", 2014)
+
+_HTML = """
+<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"""
+
+
+def nfl_database(stale: bool = False) -> Database:
+    rows = list(_ROWS) + ([_UPDATE_ROW] if stale else [])
+    table = Table(
+        "nflsuspensions",
+        [
+            Column("Name"),
+            Column("Team"),
+            Column("Games"),
+            Column("Category"),
+            Column("Year", ColumnType.NUMERIC),
+        ],
+        rows,
+    )
+    return Database("nfl", [table])
+
+
+def nfl_suspensions_case(stale: bool = False) -> TestCase:
+    """The running example; with ``stale=True`` the first claim is wrong
+    (the paper's confirmed real-world error)."""
+    database = nfl_database(stale)
+    truths = [
+        GroundTruthClaim(
+            sql="SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'",
+            query=parse_query(
+                "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'",
+                database,
+            ),
+            true_result=5.0 if stale else 4.0,
+            claimed_value=4.0,
+            claimed_text="four",
+            is_correct=not stale,
+            context_mode="sentence",
+        ),
+        GroundTruthClaim(
+            sql=(
+                "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+                "AND Category = 'substance abuse, repeated offense'"
+            ),
+            query=parse_query(
+                "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+                "AND Category = 'substance abuse, repeated offense'",
+                database,
+            ),
+            true_result=3.0,
+            claimed_value=3.0,
+            claimed_text="Three",
+            is_correct=True,
+            context_mode="paragraph",
+        ),
+        GroundTruthClaim(
+            sql=(
+                "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+                "AND Category = 'gambling'"
+            ),
+            query=parse_query(
+                "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+                "AND Category = 'gambling'",
+                database,
+            ),
+            true_result=1.0,
+            claimed_value=1.0,
+            claimed_text="one",
+            is_correct=True,
+            context_mode="sentence",
+        ),
+    ]
+    return TestCase(
+        case_id="builtin_nfl" + ("_stale" if stale else ""),
+        theme_name="nfl_suspensions",
+        html=_HTML,
+        database=database,
+        ground_truth=truths,
+    )

@@ -1,0 +1,65 @@
+"""Synthetic dataset construction from theme blueprints."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.spec import ColumnSpec, ThemeSpec
+from repro.db.schema import Column, ColumnType, Database, Table
+from repro.db.values import Value
+
+
+def build_database(theme: ThemeSpec, rng: random.Random) -> Database:
+    """Materialize one seeded database for a theme.
+
+    Category values are drawn from a Zipf-ish distribution so that counts
+    differ across values (uniform draws would make many claims
+    coincidentally equal). Filler columns widen the schema for the
+    query-space experiment (Figure 8) without affecting claims.
+    """
+    n_rows = rng.randint(*theme.row_range)
+    columns: list[Column] = []
+    generators = []
+    for spec in theme.columns:
+        columns.append(Column(spec.name, _column_type(spec)))
+        generators.append(_value_generator(spec, rng))
+    # Enough distinct values per filler column to reproduce the paper's
+    # query-space scale (Figure 8) without touching any generated claim.
+    filler_values = tuple(f"option {i:02d}" for i in range(1, 31))
+    for index in range(theme.filler_columns):
+        columns.append(Column(f"extra_{index + 1:02d}", ColumnType.STRING))
+        generators.append(lambda rng=rng: rng.choice(filler_values))
+    rows = [
+        tuple(generate() for generate in generators) for _ in range(n_rows)
+    ]
+    table = Table(theme.table_name, columns, rows)
+    return Database(theme.name, [table])
+
+
+def _column_type(spec: ColumnSpec) -> ColumnType:
+    if spec.kind in ("numeric", "year"):
+        return ColumnType.NUMERIC
+    return ColumnType.STRING
+
+
+def _value_generator(spec: ColumnSpec, rng: random.Random):
+    if spec.kind == "category":
+        values = list(spec.values)
+        weights = [1.0 / (rank + 1) for rank in range(len(values))]
+        return lambda: rng.choices(values, weights=weights, k=1)[0]
+    if spec.kind == "entity":
+        values = list(spec.values)
+        return lambda: rng.choice(values)
+    if spec.kind == "year":
+        low, high = spec.numeric_range
+        return lambda: rng.randint(int(low), int(high))
+    low, high = spec.numeric_range
+
+    def numeric() -> Value:
+        # Occasional missing cells, as in scraped data.
+        if rng.random() < 0.03:
+            return None
+        value = rng.uniform(low, high)
+        return round(value) if spec.integer else round(value, 2)
+
+    return numeric

@@ -1,0 +1,119 @@
+"""Corpus orchestration: 53 articles calibrated to the paper's statistics."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.corpus.articles import ArticleBuilder, ArticleConfig
+from repro.corpus.datasets import build_database
+from repro.corpus.spec import TestCase, ThemeSpec
+from repro.corpus.themes import THEMES
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Corpus-level knobs (defaults match the paper's Appendix B)."""
+
+    n_articles: int = 53
+    seed: int = 2019
+    article: ArticleConfig = field(default_factory=ArticleConfig)
+    themes: tuple[ThemeSpec, ...] = THEMES
+
+
+@dataclass
+class Corpus:
+    """A generated corpus with the statistics helpers the paper reports."""
+
+    cases: list[TestCase]
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    @property
+    def total_claims(self) -> int:
+        return sum(len(case.ground_truth) for case in self.cases)
+
+    @property
+    def erroneous_claims(self) -> int:
+        return sum(case.erroneous_count for case in self.cases)
+
+    @property
+    def error_rate(self) -> float:
+        total = self.total_claims
+        return self.erroneous_claims / total if total else 0.0
+
+    @property
+    def cases_with_errors(self) -> int:
+        return sum(1 for case in self.cases if case.erroneous_count > 0)
+
+    def claims_per_case(self) -> list[int]:
+        return [len(case.ground_truth) for case in self.cases]
+
+    def predicate_histogram(self) -> dict[int, int]:
+        """Claims by number of predicates (paper Figure 9c)."""
+        histogram: Counter[int] = Counter()
+        for case in self.cases:
+            for truth in case.ground_truth:
+                histogram[len(truth.query.all_predicates)] += 1
+        return dict(sorted(histogram.items()))
+
+    def characteristic_coverage(self, top_n: int) -> dict[str, float]:
+        """Average fraction of claims per document covered by the N most
+        frequent instances of each query characteristic (Figure 9b)."""
+        coverages: dict[str, list[float]] = {
+            "function": [],
+            "column": [],
+            "predicates": [],
+        }
+        for case in self.cases:
+            queries = [truth.query for truth in case.ground_truth]
+            if not queries:
+                continue
+            coverages["function"].append(
+                _top_n_share([q.aggregate.function for q in queries], top_n)
+            )
+            coverages["column"].append(
+                _top_n_share([q.aggregate.column for q in queries], top_n)
+            )
+            coverages["predicates"].append(
+                _top_n_share(
+                    [frozenset(q.predicate_columns) for q in queries], top_n
+                )
+            )
+        return {
+            key: 100.0 * sum(values) / len(values) if values else 0.0
+            for key, values in coverages.items()
+        }
+
+
+def generate_corpus(config: CorpusConfig | None = None) -> Corpus:
+    """Generate the full corpus deterministically from the seed."""
+    config = config or CorpusConfig()
+    rng = random.Random(config.seed)
+    cases: list[TestCase] = []
+    failures = 0
+    index = 0
+    while len(cases) < config.n_articles:
+        theme = config.themes[index % len(config.themes)]
+        index += 1
+        case_rng = random.Random(rng.randrange(2**62))
+        try:
+            database = build_database(theme, case_rng)
+            builder = ArticleBuilder(theme, database, case_rng, config.article)
+            case_id = f"case_{len(cases) + 1:02d}_{theme.name}"
+            cases.append(builder.build(case_id))
+        except CorpusError:
+            failures += 1
+            if failures > 4 * config.n_articles:
+                raise
+    return Corpus(cases)
+
+
+def _top_n_share(items: list, top_n: int) -> float:
+    counts = Counter(items)
+    total = sum(counts.values())
+    covered = sum(count for _, count in counts.most_common(top_n))
+    return covered / total if total else 0.0

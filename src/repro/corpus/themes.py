@@ -1,0 +1,528 @@
+"""The theme catalog: domain blueprints for the synthetic corpus.
+
+Themes mirror the paper's source mix — sports (538), politics (NYT
+Upshot), developer surveys (Stack Overflow), economics and general
+knowledge (Vox, Wikipedia). Several themes carry deliberate difficulty:
+abbreviated data values ("indef"), wordy value phrases, and overlapping
+vocabulary between columns.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import ColumnSpec, ThemeSpec
+
+_FIRST = (
+    "Alex", "Jordan", "Casey", "Riley", "Morgan", "Avery", "Quinn",
+    "Hayden", "Rowan", "Sawyer", "Emerson", "Finley", "Skyler", "Dakota",
+)
+_LAST = (
+    "Smith", "Jones", "Miller", "Davis", "Garcia", "Wilson", "Moore",
+    "Taylor", "Clark", "Lewis", "Walker", "Hall", "Young", "King",
+)
+
+
+def person_names() -> tuple[str, ...]:
+    return tuple(f"{first} {last}" for first in _FIRST for last in _LAST)
+
+
+NFL_SUSPENSIONS = ThemeSpec(
+    name="nfl_suspensions",
+    table_name="nflsuspensions",
+    title="The League's Uneven History Of Punishing Players",
+    entity_noun="suspensions",
+    columns=(
+        ColumnSpec("Name", "entity", values=person_names(), phrase="player"),
+        ColumnSpec(
+            "Team",
+            "category",
+            values=("BAL", "CIN", "WAS", "DAL", "CLE", "NO", "SEA", "DEN"),
+            phrase="team",
+        ),
+        ColumnSpec(
+            "Games",
+            "category",
+            values=("1", "2", "4", "8", "16", "indef"),
+            phrase="games",
+            value_phrases={
+                "1": "single-game bans",
+                "2": "brief bans",
+                "4": "quarter-season bans",
+                "8": "half-season bans",
+                "16": "season-long bans",
+                "indef": "lifetime bans",
+            },
+        ),
+        ColumnSpec(
+            "Category",
+            "category",
+            values=(
+                "substance abuse",
+                "substance abuse, repeated offense",
+                "gambling",
+                "domestic violence",
+                "personal conduct",
+                "performance enhancers",
+            ),
+            phrase="violation category",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(1980, 2014), phrase="season"),
+    ),
+    row_range=(60, 120),
+    aggregation_targets=("",),
+    predicate_targets=("Games", "Category", "Team"),
+)
+
+CAMPAIGN_FINANCE = ThemeSpec(
+    name="campaign_finance",
+    table_name="donations",
+    title="Race In The Primary Involves Donating Dollars",
+    entity_noun="donations",
+    columns=(
+        ColumnSpec("Recipient", "entity", values=person_names(), phrase="candidate"),
+        ColumnSpec(
+            "Party",
+            "category",
+            values=("democrat", "republican", "independent"),
+            phrase="party",
+        ),
+        ColumnSpec(
+            "Committee",
+            "category",
+            values=("campaign fund", "leadership pac", "joint committee"),
+            phrase="committee",
+            value_phrases={"leadership pac": "leadership political action committees"},
+        ),
+        ColumnSpec(
+            "State",
+            "category",
+            values=("CA", "TX", "NY", "FL", "OH"),
+            phrase="state",
+            value_phrases={
+                "CA": "California", "TX": "Texas", "NY": "New York",
+                "FL": "Florida", "OH": "Ohio",
+            },
+        ),
+        ColumnSpec(
+            "Amount",
+            "numeric",
+            numeric_range=(250, 5200),
+            phrase="donation amount",
+        ),
+    ),
+    row_range=(80, 200),
+    aggregation_targets=("", "Amount", "Recipient"),
+    predicate_targets=("Party", "Committee", "State"),
+)
+
+DEVELOPER_SURVEY = ThemeSpec(
+    name="developer_survey",
+    table_name="stackoverflow2016",
+    title="Developer Survey Results",
+    entity_noun="respondents",
+    columns=(
+        ColumnSpec(
+            "Education",
+            "category",
+            values=(
+                "bachelor's degree",
+                "master's degree",
+                "i'm self-taught",
+                "online course",
+                "bootcamp",
+            ),
+            phrase="education",
+            value_phrases={"i'm self-taught": "only self-taught"},
+        ),
+        ColumnSpec(
+            "Occupation",
+            "category",
+            values=(
+                "full-stack developer",
+                "back-end developer",
+                "front-end developer",
+                "data scientist",
+                "devops",
+            ),
+            phrase="occupation",
+        ),
+        ColumnSpec(
+            "Country",
+            "category",
+            values=("united states", "germany", "india", "brazil", "japan"),
+            phrase="country",
+        ),
+        ColumnSpec(
+            "Remote",
+            "category",
+            values=("never", "sometimes", "full-time remote"),
+            phrase="remote work",
+        ),
+        ColumnSpec(
+            "Salary",
+            "numeric",
+            numeric_range=(28000, 160000),
+            phrase="salary",
+        ),
+        ColumnSpec(
+            "YearsExperience",
+            "numeric",
+            numeric_range=(1, 30),
+            phrase="years of experience",
+        ),
+    ),
+    row_range=(150, 400),
+    aggregation_targets=("", "Salary", "YearsExperience"),
+    predicate_targets=("Education", "Occupation", "Country", "Remote"),
+    # The paper's Stack Overflow survey has 154 columns and >10^12
+    # candidate queries (Figure 8); the filler schema reproduces that
+    # heavy tail.
+    filler_columns=90,
+)
+
+AIRLINE_ETIQUETTE = ThemeSpec(
+    name="airline_etiquette",
+    table_name="flyingetiquette",
+    title="41 Percent Of Fliers Say Reclining Your Seat Is Rude",
+    entity_noun="fliers",
+    columns=(
+        ColumnSpec(
+            "RecliningRude",
+            "category",
+            values=("very rude", "somewhat rude", "not rude"),
+            phrase="reclining opinion",
+        ),
+        ColumnSpec(
+            "TravelFrequency",
+            "category",
+            values=("never", "once a year", "monthly", "weekly"),
+            phrase="travel frequency",
+        ),
+        ColumnSpec(
+            "SeatPreference",
+            "category",
+            values=("window", "middle", "aisle"),
+            phrase="seat preference",
+        ),
+        ColumnSpec("Age", "numeric", numeric_range=(18, 80), phrase="age"),
+        ColumnSpec(
+            "Height",
+            "numeric",
+            numeric_range=(150, 200),
+            phrase="height",
+        ),
+    ),
+    row_range=(120, 300),
+    aggregation_targets=("", "Age", "Height"),
+    predicate_targets=("RecliningRude", "TravelFrequency", "SeatPreference"),
+)
+
+FIFA_SPENDING = ThemeSpec(
+    name="fifa_spending",
+    table_name="fifaprojects",
+    title="The Reign At FIFA Hasn't Helped Soccer's Poor",
+    entity_noun="projects",
+    columns=(
+        ColumnSpec(
+            "Region",
+            "category",
+            values=("africa", "asia", "europe", "south america", "oceania"),
+            phrase="region",
+        ),
+        ColumnSpec(
+            "ProjectType",
+            "category",
+            values=("stadium", "training center", "youth program", "office"),
+            phrase="project type",
+        ),
+        ColumnSpec(
+            "Status",
+            "category",
+            values=("completed", "in progress", "cancelled"),
+            phrase="status",
+        ),
+        ColumnSpec(
+            "Budget",
+            "numeric",
+            numeric_range=(50000, 2000000),
+            phrase="budget",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(2000, 2015), phrase="year"),
+    ),
+    row_range=(60, 150),
+    aggregation_targets=("", "Budget"),
+    predicate_targets=("Region", "ProjectType", "Status"),
+)
+
+HIPHOP_LYRICS = ThemeSpec(
+    name="hiphop_lyrics",
+    table_name="candidatelyrics",
+    title="Hip-Hop Is Turning On The Candidate",
+    entity_noun="mentions",
+    columns=(
+        ColumnSpec("Artist", "entity", values=person_names(), phrase="artist"),
+        ColumnSpec(
+            "Sentiment",
+            "category",
+            values=("positive", "negative", "neutral"),
+            phrase="sentiment",
+        ),
+        ColumnSpec(
+            "Theme",
+            "category",
+            values=("money", "power", "politics", "fame"),
+            phrase="theme",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(1989, 2016), phrase="year"),
+        ColumnSpec(
+            "ChartPeak",
+            "numeric",
+            numeric_range=(1, 100),
+            phrase="chart peak",
+        ),
+    ),
+    row_range=(50, 180),
+    aggregation_targets=("", "ChartPeak"),
+    predicate_targets=("Sentiment", "Theme", "Year"),
+)
+
+COMMENCEMENT_SPEECHES = ThemeSpec(
+    name="commencement_speeches",
+    table_name="speeches",
+    title="Sitting Presidents Give Way More Commencement Speeches",
+    entity_noun="speeches",
+    columns=(
+        ColumnSpec("Speaker", "entity", values=person_names(), phrase="speaker"),
+        ColumnSpec(
+            "Role",
+            "category",
+            values=("president", "governor", "senator", "ceo", "author"),
+            phrase="role",
+        ),
+        ColumnSpec(
+            "SchoolType",
+            "category",
+            values=("public university", "private college", "military academy"),
+            phrase="school type",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(1990, 2016), phrase="year"),
+        ColumnSpec(
+            "Attendance",
+            "numeric",
+            numeric_range=(500, 30000),
+            phrase="attendance",
+        ),
+    ),
+    row_range=(60, 160),
+    aggregation_targets=("", "Attendance"),
+    predicate_targets=("Role", "SchoolType", "Year"),
+)
+
+SUNDAY_SHOWS = ThemeSpec(
+    name="sunday_shows",
+    table_name="sundayshows",
+    title="Looking For A Senator? Try A Sunday Morning Show",
+    entity_noun="appearances",
+    columns=(
+        ColumnSpec("Guest", "entity", values=person_names(), phrase="guest"),
+        ColumnSpec(
+            "Show",
+            "category",
+            values=(
+                "meet the press",
+                "face the nation",
+                "this week",
+                "state of the union",
+            ),
+            phrase="show",
+        ),
+        ColumnSpec(
+            "Role",
+            "category",
+            values=("senator", "representative", "governor", "analyst"),
+            phrase="role",
+        ),
+        ColumnSpec(
+            "Party",
+            "category",
+            values=("democrat", "republican"),
+            phrase="party",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(2009, 2014), phrase="year"),
+    ),
+    row_range=(80, 220),
+    aggregation_targets=("", "Guest"),
+    predicate_targets=("Show", "Role", "Party"),
+)
+
+CITY_WEATHER = ThemeSpec(
+    name="city_weather",
+    table_name="weatherstations",
+    title="A Year Of Weather Extremes Across The Country",
+    entity_noun="readings",
+    columns=(
+        ColumnSpec(
+            "Station",
+            "category",
+            values=("north ridge", "lakeside", "downtown", "airport", "harbor"),
+            phrase="station",
+        ),
+        ColumnSpec(
+            "Season",
+            "category",
+            values=("winter", "spring", "summer", "autumn"),
+            phrase="season",
+        ),
+        ColumnSpec(
+            "Rainfall",
+            "numeric",
+            numeric_range=(0, 300),
+            phrase="rainfall",
+        ),
+        ColumnSpec(
+            "Temperature",
+            "numeric",
+            numeric_range=(-10, 40),
+            phrase="temperature",
+        ),
+    ),
+    row_range=(100, 250),
+    aggregation_targets=("Rainfall", "Temperature", ""),
+    predicate_targets=("Station", "Season"),
+)
+
+MOVIE_RELEASES = ThemeSpec(
+    name="movie_releases",
+    table_name="moviereleases",
+    title="The Economics Of A Crowded Movie Summer",
+    entity_noun="releases",
+    columns=(
+        ColumnSpec(
+            "Studio",
+            "category",
+            values=("paramount", "universal", "warner", "sony", "disney"),
+            phrase="studio",
+        ),
+        ColumnSpec(
+            "Genre",
+            "category",
+            values=("action", "comedy", "drama", "horror", "documentary"),
+            phrase="genre",
+        ),
+        ColumnSpec(
+            "Rating",
+            "category",
+            values=("g", "pg", "pg-13", "r"),
+            phrase="rating",
+        ),
+        ColumnSpec(
+            "BoxOffice",
+            "numeric",
+            numeric_range=(1, 400),
+            phrase="box office millions",
+        ),
+        ColumnSpec("Year", "year", numeric_range=(2005, 2016), phrase="year"),
+    ),
+    row_range=(80, 200),
+    aggregation_targets=("", "BoxOffice"),
+    predicate_targets=("Genre", "Studio", "Rating"),
+)
+
+HOSPITAL_STATS = ThemeSpec(
+    name="hospital_stats",
+    table_name="hospitaladmissions",
+    title="Where Hospital Beds Fill Up Fastest",
+    entity_noun="admissions",
+    columns=(
+        ColumnSpec(
+            "Department",
+            "category",
+            values=("cardiology", "oncology", "pediatrics", "emergency"),
+            phrase="department",
+        ),
+        ColumnSpec(
+            "Severity",
+            "category",
+            values=("minor", "moderate", "severe", "critical"),
+            phrase="severity",
+        ),
+        ColumnSpec(
+            "Insurance",
+            "category",
+            values=("private", "public", "uninsured"),
+            phrase="insurance",
+        ),
+        ColumnSpec(
+            "StayDays",
+            "numeric",
+            numeric_range=(1, 40),
+            phrase="stay length",
+        ),
+        ColumnSpec(
+            "Cost",
+            "numeric",
+            numeric_range=(400, 90000),
+            phrase="cost",
+        ),
+    ),
+    row_range=(120, 300),
+    aggregation_targets=("", "StayDays", "Cost"),
+    predicate_targets=("Department", "Severity", "Insurance"),
+)
+
+ELECTION_RESULTS = ThemeSpec(
+    name="election_results",
+    table_name="precinctvotes",
+    title="What The Precinct Returns Tell Us About Turnout",
+    entity_noun="precincts",
+    columns=(
+        ColumnSpec(
+            "County",
+            "category",
+            values=("adams", "boone", "clay", "dekalb", "eaton"),
+            phrase="county",
+        ),
+        ColumnSpec(
+            "Winner",
+            "category",
+            values=("democrat", "republican", "independent"),
+            phrase="winner",
+        ),
+        ColumnSpec(
+            "UrbanRural",
+            "category",
+            values=("urban", "suburban", "rural"),
+            phrase="area type",
+        ),
+        ColumnSpec(
+            "Turnout",
+            "numeric",
+            numeric_range=(20, 90),
+            phrase="turnout",
+        ),
+        ColumnSpec(
+            "RegisteredVoters",
+            "numeric",
+            numeric_range=(400, 9000),
+            phrase="registered voters",
+        ),
+    ),
+    row_range=(100, 260),
+    aggregation_targets=("", "Turnout", "RegisteredVoters"),
+    predicate_targets=("Winner", "County", "UrbanRural"),
+)
+
+#: All single-table themes, cycled over when generating the corpus.
+THEMES: tuple[ThemeSpec, ...] = (
+    NFL_SUSPENSIONS,
+    CAMPAIGN_FINANCE,
+    DEVELOPER_SURVEY,
+    AIRLINE_ETIQUETTE,
+    FIFA_SPENDING,
+    HIPHOP_LYRICS,
+    COMMENCEMENT_SPEECHES,
+    SUNDAY_SHOWS,
+    CITY_WEATHER,
+    MOVIE_RELEASES,
+    HOSPITAL_STATS,
+    ELECTION_RESULTS,
+)

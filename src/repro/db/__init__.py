@@ -1,0 +1,61 @@
+"""In-memory relational engine (Postgres substitute).
+
+This subpackage provides everything AggChecker needs from a database system:
+
+- typed :class:`~repro.db.schema.Column`/:class:`~repro.db.schema.Table`
+  definitions assembled into a :class:`~repro.db.schema.Database` with
+  primary-key/foreign-key constraints,
+- CSV loading with type inference (:mod:`repro.db.csvio`) and data
+  dictionaries (:mod:`repro.db.datadict`),
+- join-path discovery over acyclic schema graphs (:mod:`repro.db.joins`),
+- the paper's *Simple Aggregate Query* model (:mod:`repro.db.query`) with
+  SQL rendering and parsing (:mod:`repro.db.sql`),
+- a direct executor (:mod:`repro.db.executor`), a ``GROUP BY CUBE`` operator
+  with ``InOrDefault`` literal collapsing (:mod:`repro.db.cube`),
+- and a batch :class:`~repro.db.engine.QueryEngine` implementing the paper's
+  query merging and result caching (Section 6) with execution statistics.
+"""
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.csvio import load_csv, load_csv_text
+from repro.db.cube import CubeQuery, CubeResult, execute_cube
+from repro.db.engine import (
+    CubeCoverStrategy,
+    EngineStats,
+    ExecutionMode,
+    QueryEngine,
+)
+from repro.db.executor import execute_query
+from repro.db.joins import JoinGraph, JoinPath
+from repro.db.predicates import Predicate
+from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
+from repro.db.schema import Column, ColumnType, Database, ForeignKey, Table
+from repro.db.sql import parse_query, render_sql
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "CubeCoverStrategy",
+    "CubeQuery",
+    "CubeResult",
+    "Database",
+    "EngineStats",
+    "ExecutionMode",
+    "ForeignKey",
+    "JoinGraph",
+    "JoinPath",
+    "Predicate",
+    "QueryEngine",
+    "STAR",
+    "SimpleAggregateQuery",
+    "Table",
+    "execute_cube",
+    "execute_query",
+    "load_csv",
+    "load_csv_text",
+    "parse_query",
+    "render_sql",
+]

@@ -1,0 +1,336 @@
+"""Batch query engine with merging and caching (paper Section 6).
+
+Three execution modes reproduce the ladder of Table 6:
+
+- ``NAIVE``: every candidate query is executed separately.
+- ``MERGED``: candidates sharing a base relation are answered from shared
+  cube queries (``InOrDefault`` + ``GROUP BY CUBE``), but nothing persists
+  across :meth:`QueryEngine.evaluate` calls.
+- ``MERGED_CACHED``: cube cells additionally persist in a
+  :class:`~repro.db.cache.ResultCache` across claims and EM iterations.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.db.aggregates import AggregateFunction, ratio_value
+from repro.db.cache import ResultCache
+from repro.db.cube import ALL, CubeQuery, CubeResult, execute_cube
+from repro.db.executor import execute_query
+from repro.db.joins import JoinGraph
+from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
+from repro.db.schema import Database
+from repro.db.values import Value
+
+
+class ExecutionMode(enum.Enum):
+    """How batches of candidate queries are evaluated."""
+
+    NAIVE = "naive"
+    MERGED = "merged"
+    MERGED_CACHED = "merged_cached"
+
+
+class CubeCoverStrategy(enum.Enum):
+    """How cube dimension sets are chosen to cover candidate predicates.
+
+    ``EXACT`` builds one cube per maximal predicate-column set observed in
+    the batch (smaller sets reuse a covering superset). ``PAPER`` follows
+    Section 6.3 literally: dimension subsets of size ``nG(x) = max(m, x-1)``
+    over the batch's predicate-column scope, which creates deliberate
+    overlap between cubes to widen cache reuse. PAPER falls back to EXACT
+    when ``nG`` would exceed the cube dimension limit (wide scopes make
+    2^nG rollups intractable — the paper's scope threshold prevents the
+    same blow-up).
+    """
+
+    EXACT = "exact"
+    PAPER = "paper"
+
+
+@dataclass
+class EngineStats:
+    """Counters for the processing experiments (Table 6)."""
+
+    queries_requested: int = 0
+    physical_queries: int = 0
+    cube_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_scanned: int = 0
+    query_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.queries_requested = 0
+        self.physical_queries = 0
+        self.cube_queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.rows_scanned = 0
+        self.query_seconds = 0.0
+
+
+def _basis_spec(query: SimpleAggregateQuery) -> AggregateSpec:
+    """The cube-computable aggregate backing a candidate query.
+
+    Ratio functions are derived from counts of the same column (footnote 1
+    of the paper), everything else is computed directly.
+    """
+    spec = query.aggregate
+    if spec.function.is_ratio:
+        return AggregateSpec(AggregateFunction.COUNT, spec.column)
+    return spec
+
+
+class QueryEngine:
+    """Evaluates batches of Simple Aggregate Queries against one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        mode: ExecutionMode = ExecutionMode.MERGED_CACHED,
+        cover_strategy: CubeCoverStrategy = CubeCoverStrategy.EXACT,
+        paper_max_predicates: int = 3,
+    ) -> None:
+        self.database = database
+        self.mode = mode
+        self.cover_strategy = cover_strategy
+        self.paper_max_predicates = paper_max_predicates
+        self.join_graph = JoinGraph(database)
+        self.cache = ResultCache()
+        self.stats = EngineStats()
+
+    def evaluate_one(self, query: SimpleAggregateQuery) -> Value:
+        """Evaluate a single query (always the naive path)."""
+        self.stats.queries_requested += 1
+        return self._execute_naive(query)
+
+    def evaluate(
+        self, queries: Iterable[SimpleAggregateQuery]
+    ) -> dict[SimpleAggregateQuery, Value]:
+        """Evaluate a batch, sharing work according to the engine mode."""
+        batch = list(dict.fromkeys(queries))
+        self.stats.queries_requested += len(batch)
+        if self.mode is ExecutionMode.NAIVE:
+            return {query: self._execute_naive(query) for query in batch}
+        cache = self.cache if self.mode is ExecutionMode.MERGED_CACHED else ResultCache()
+        return self._evaluate_merged(batch, cache)
+
+    # ------------------------------------------------------------------
+    # Naive path
+    # ------------------------------------------------------------------
+
+    def _execute_naive(self, query: SimpleAggregateQuery) -> Value:
+        start = time.perf_counter()
+        result = execute_query(self.database, query, self.join_graph)
+        self.stats.query_seconds += time.perf_counter() - start
+        self.stats.physical_queries += 1
+        tables = self._query_tables(query)
+        self.stats.rows_scanned += len(self.join_graph.relation(tables))
+        return result
+
+    # ------------------------------------------------------------------
+    # Merged path
+    # ------------------------------------------------------------------
+
+    def _evaluate_merged(
+        self,
+        batch: Sequence[SimpleAggregateQuery],
+        cache: ResultCache,
+    ) -> dict[SimpleAggregateQuery, Value]:
+        # Literals of interest per column: union across the whole batch
+        # (the paper generates cells for all literals with non-zero marginal
+        # probability for *any* claim, Section 6.3).
+        literal_union: dict[ColumnRef, set[str]] = {}
+        for query in batch:
+            for predicate in query.all_predicates:
+                literal_union.setdefault(predicate.column, set()).add(
+                    predicate.normalized_value
+                )
+
+        # Group queries by base relation, then choose covering dim sets.
+        by_tables: dict[frozenset[str], list[SimpleAggregateQuery]] = {}
+        for query in batch:
+            by_tables.setdefault(self._query_tables(query), []).append(query)
+
+        results: dict[SimpleAggregateQuery, Value] = {}
+        for tables, group in by_tables.items():
+            self._evaluate_group(tables, group, literal_union, cache, results)
+        return results
+
+    def _evaluate_group(
+        self,
+        tables: frozenset[str],
+        group: Sequence[SimpleAggregateQuery],
+        literal_union: dict[ColumnRef, set[str]],
+        cache: ResultCache,
+        results: dict[SimpleAggregateQuery, Value],
+    ) -> None:
+        assignment_of = self._cover_dim_sets(group)
+
+        queries_by_dims: dict[frozenset[ColumnRef], list[SimpleAggregateQuery]] = {}
+        for query in group:
+            dims = assignment_of[frozenset(query.predicate_columns)]
+            queries_by_dims.setdefault(dims, []).append(query)
+
+        for dims, queries in queries_by_dims.items():
+            ordered_dims = tuple(sorted(dims))
+            literal_map = {
+                dim: frozenset(literal_union.get(dim, set()))
+                for dim in ordered_dims
+            }
+            specs = {_basis_spec(query) for query in queries}
+            cells_by_spec = self._cells_for(
+                tables, ordered_dims, literal_map, specs, cache
+            )
+            for query in queries:
+                results[query] = self._answer(query, ordered_dims, cells_by_spec)
+
+    def _cover_dim_sets(
+        self, group: Sequence[SimpleAggregateQuery]
+    ) -> dict[frozenset[ColumnRef], frozenset[ColumnRef]]:
+        """Map each query's predicate-column set to a covering dim set."""
+        column_sets = sorted(
+            {frozenset(q.predicate_columns) for q in group},
+            key=lambda s: (-len(s), sorted(str(c) for c in s)),
+        )
+        if self.cover_strategy is CubeCoverStrategy.PAPER:
+            paper = self._paper_cover(column_sets)
+            if paper is not None:
+                return paper
+        # EXACT: largest-first; smaller sets reuse a chosen superset.
+        chosen: list[frozenset[ColumnRef]] = []
+        assignment: dict[frozenset[ColumnRef], frozenset[ColumnRef]] = {}
+        for column_set in column_sets:
+            cover = next((c for c in chosen if column_set <= c), None)
+            if cover is None:
+                chosen.append(column_set)
+                cover = column_set
+            assignment[column_set] = cover
+        return assignment
+
+    def _paper_cover(
+        self, column_sets: list[frozenset[ColumnRef]]
+    ) -> dict[frozenset[ColumnRef], frozenset[ColumnRef]] | None:
+        """Section 6.3 cover: subsets of the scope of size nG(x)=max(m,x-1).
+
+        Returns None (caller falls back to EXACT) when nG exceeds the cube
+        dimension limit or the subset family would be too large.
+        """
+        from itertools import combinations
+
+        from repro.db.cube import MAX_CUBE_DIMENSIONS
+
+        scope = sorted({column for s in column_sets for column in s})
+        if not scope:
+            return {frozenset(): frozenset()}
+        m = min(
+            max(len(s) for s in column_sets) or 1, self.paper_max_predicates
+        )
+        n_dims = max(m, len(scope) - 1)
+        if n_dims > MAX_CUBE_DIMENSIONS or n_dims >= len(scope):
+            if len(scope) <= MAX_CUBE_DIMENSIONS:
+                full = frozenset(scope)
+                return {s: full for s in column_sets}
+            return None
+        dim_sets = [frozenset(c) for c in combinations(scope, n_dims)]
+        if len(dim_sets) > 64:
+            return None
+        assignment: dict[frozenset[ColumnRef], frozenset[ColumnRef]] = {}
+        for column_set in column_sets:
+            cover = next((d for d in dim_sets if column_set <= d), None)
+            if cover is None:
+                return None  # a query exceeds nG predicates: fall back
+            assignment[column_set] = cover
+        return assignment
+
+    def _cells_for(
+        self,
+        tables: frozenset[str],
+        dims: tuple[ColumnRef, ...],
+        literal_map: dict[ColumnRef, frozenset[str]],
+        specs: set[AggregateSpec],
+        cache: ResultCache,
+    ) -> dict[AggregateSpec, dict]:
+        cells_by_spec: dict[AggregateSpec, dict] = {}
+        missing: list[AggregateSpec] = []
+        for spec in sorted(specs, key=str):
+            entry = cache.get(tables, spec, dims, literal_map)
+            if entry is not None:
+                cells_by_spec[spec] = entry.cells
+            else:
+                missing.append(spec)
+        self.stats.cache_hits = cache.stats.hits
+        self.stats.cache_misses = cache.stats.misses
+        if missing:
+            cube = CubeQuery(
+                tables=tables,
+                dimensions=dims,
+                literals=tuple((dim, literal_map[dim]) for dim in dims),
+                aggregates=tuple(missing),
+            )
+            start = time.perf_counter()
+            result = execute_cube(self.database, cube, self.join_graph)
+            self.stats.query_seconds += time.perf_counter() - start
+            self.stats.cube_queries += 1
+            self.stats.physical_queries += 1
+            self.stats.rows_scanned += result.rows_scanned
+            for spec in missing:
+                cells = result.cells_for(spec)
+                entry = cache.put(tables, spec, dims, literal_map, cells)
+                cells_by_spec[spec] = entry.cells
+        return cells_by_spec
+
+    def _answer(
+        self,
+        query: SimpleAggregateQuery,
+        dims: tuple[ColumnRef, ...],
+        cells_by_spec: dict[AggregateSpec, dict],
+    ) -> Value:
+        spec = _basis_spec(query)
+        cells = cells_by_spec[spec]
+        assignment = {
+            predicate.column: predicate.normalized_value
+            for predicate in query.all_predicates
+        }
+        numerator = self._cell_value(cells, dims, assignment, spec)
+        fn = query.aggregate.function
+        if not fn.is_ratio:
+            return numerator
+        if fn is AggregateFunction.PERCENTAGE:
+            denominator = self._cell_value(cells, dims, {}, spec)
+        else:  # CONDITIONAL_PROBABILITY
+            assert query.condition is not None
+            condition_only = {
+                query.condition.column: query.condition.normalized_value
+            }
+            denominator = self._cell_value(cells, dims, condition_only, spec)
+        return ratio_value(numerator, denominator)
+
+    def _cell_value(
+        self,
+        cells: dict,
+        dims: tuple[ColumnRef, ...],
+        assignment: dict[ColumnRef, str],
+        spec: AggregateSpec,
+    ) -> Value:
+        key = tuple(assignment.get(dim, ALL) for dim in dims)
+        if key in cells:
+            return cells[key]
+        # Empty group: counts are 0, other aggregates NULL.
+        if spec.function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_DISTINCT,
+        ):
+            return 0
+        return None
+
+    def _query_tables(self, query: SimpleAggregateQuery) -> frozenset[str]:
+        tables = query.referenced_tables()
+        if not tables:
+            tables = frozenset({self.database.single_table().name})
+        return tables

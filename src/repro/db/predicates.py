@@ -1,0 +1,50 @@
+"""Unary equality predicates (the only predicate form in claim queries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.refs import ColumnRef
+from repro.db.values import Value, normalize_string, values_equal
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An equality predicate ``column = value`` (paper Definition 2)."""
+
+    column: ColumnRef
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.column.is_star:
+            raise QueryError("predicates cannot restrict '*'")
+        if self.value is None:
+            raise QueryError("predicates cannot compare against NULL")
+
+    @property
+    def normalized_value(self) -> str:
+        """Canonical value form used for grouping and cache keys."""
+        return normalize_string(self.value)
+
+    def matches(self, cell: Value) -> bool:
+        return values_equal(cell, self.value)
+
+    def sort_key(self) -> tuple[str, str, str]:
+        return (self.column.table, self.column.column, self.normalized_value)
+
+    def __str__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+def canonical_predicates(predicates: tuple[Predicate, ...]) -> tuple[Predicate, ...]:
+    """Sort predicates into canonical order and reject duplicate columns.
+
+    The paper's query model places at most one restriction per column
+    (Section 5.3 models a query by its value ``Vq(i)`` per column ``i``).
+    """
+    ordered = tuple(sorted(predicates, key=Predicate.sort_key))
+    columns = [predicate.column for predicate in ordered]
+    if len(set(columns)) != len(columns):
+        raise QueryError("a query may restrict each column at most once")
+    return ordered

@@ -1,0 +1,104 @@
+"""Cell values and type coercion for the in-memory engine.
+
+A cell is one of: ``None`` (SQL NULL), ``str``, ``int``, or ``float``.
+Numeric columns may mix ``int`` and ``float``. String comparison is
+case-insensitive (newspaper text rarely matches database casing), which
+mirrors how the paper matches claim keywords against database literals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+Value = None | str | int | float
+
+#: Sentinel used by the cube operator's ``InOrDefault`` rewrite for literals
+#: with zero marginal probability (paper Section 6.2). Using a dedicated
+#: object keeps it distinct from every real cell value, including None.
+DEFAULT_LITERAL = "\x00<other>"
+
+
+def is_missing(value: Value) -> bool:
+    """Return True for SQL NULL or an empty/whitespace-only string."""
+    if value is None:
+        return True
+    if isinstance(value, str):
+        return not value.strip()
+    return False
+
+
+def is_numeric(value: Value) -> bool:
+    """Return True if the value is a usable number (not NULL, not NaN)."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return True
+    if isinstance(value, float):
+        return not math.isnan(value)
+    return False
+
+
+def coerce_number(value: Value) -> float | int | None:
+    """Best-effort conversion of a cell to a number, else None.
+
+    Handles thousands separators, currency symbols, percent signs and
+    surrounding whitespace, which are all common in scraped CSV files.
+    """
+    if is_numeric(value):
+        return value  # type: ignore[return-value]
+    if not isinstance(value, str):
+        return None
+    text = value.strip().replace(",", "")
+    if not text:
+        return None
+    if text.startswith("$"):
+        text = text[1:]
+    if text.endswith("%"):
+        text = text[:-1]
+    negative = False
+    if text.startswith("(") and text.endswith(")"):
+        negative = True
+        text = text[1:-1]
+    try:
+        number = int(text)
+    except ValueError:
+        try:
+            number = float(text)
+        except ValueError:
+            return None
+        if math.isnan(number) or math.isinf(number):
+            return None
+    return -number if negative else number
+
+
+def normalize_string(value: Value) -> str:
+    """Canonical form used for equality predicates: lowercase, stripped."""
+    if value is None:
+        return ""
+    return str(value).strip().lower()
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Equality used by unary predicates.
+
+    Numbers compare numerically (``3 == 3.0``); everything else compares via
+    :func:`normalize_string`. NULL equals nothing, not even NULL, matching
+    SQL semantics for ``=``.
+    """
+    if left is None or right is None:
+        return False
+    left_num = coerce_number(left) if not isinstance(left, str) else None
+    right_num = coerce_number(right) if not isinstance(right, str) else None
+    if left_num is not None and right_num is not None:
+        return left_num == right_num
+    return normalize_string(left) == normalize_string(right)
+
+
+def value_sort_key(value: Value) -> tuple[int, Any]:
+    """Total order over mixed-type cells (NULL < numbers < strings)."""
+    if value is None:
+        return (0, 0)
+    if is_numeric(value):
+        return (1, value)
+    return (2, normalize_string(value))

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base type. Substrate-specific subclasses carry enough context to
+diagnose misuse (unknown columns, cyclic schemas, malformed queries, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (duplicate names, bad references, ...)."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the database."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in its table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class CyclicSchemaError(SchemaError):
+    """The foreign-key graph contains a cycle (paper assumes acyclicity)."""
+
+
+class JoinPathError(ReproError):
+    """No foreign-key join path connects the requested tables."""
+
+
+class QueryError(ReproError):
+    """Malformed Simple Aggregate Query."""
+
+
+class SqlParseError(QueryError):
+    """The SQL text could not be parsed as a Simple Aggregate Query."""
+
+
+class CsvFormatError(ReproError):
+    """A CSV source could not be loaded into a table."""
+
+
+class DataDictionaryError(ReproError):
+    """A data dictionary file could not be parsed."""
+
+
+class DocumentError(ReproError):
+    """Malformed input document (bad HTML nesting, empty text, ...)."""
+
+
+class CorpusError(ReproError):
+    """Corpus generation failed or was configured inconsistently."""
+
+
+class CheckerError(ReproError):
+    """The AggChecker pipeline was driven incorrectly."""

@@ -1,0 +1,11 @@
+"""Massive-scale candidate evaluation (paper Section 6).
+
+``PickScope`` selects which candidates to evaluate under a cost budget;
+``RefineByEval`` evaluates them through the merging/caching query engine
+and produces per-claim evaluation outcomes for the probabilistic model.
+"""
+
+from repro.evalexec.refine import refine_by_eval
+from repro.evalexec.scope import ScopeConfig, pick_scope
+
+__all__ = ["ScopeConfig", "pick_scope", "refine_by_eval"]

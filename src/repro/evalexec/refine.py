@@ -1,0 +1,66 @@
+"""RefineByEval: evaluate promising candidates and fold results into the
+claim distributions (paper Algorithm 4).
+
+All scoped candidates of *all* claims are submitted to the query engine in
+one batch: the engine merges them into a small number of cube queries and
+caches cells across claims and EM iterations — exactly the sharing
+structure the paper exploits (Sections 6.2-6.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db.engine import QueryEngine
+from repro.db.query import SimpleAggregateQuery
+from repro.db.values import Value
+from repro.evalexec.scope import ScopeConfig, pick_scope
+from repro.text.claims import Claim
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with model
+    from repro.model.candidates import CandidateSpace
+    from repro.model.probability import ClaimDistribution, EvaluationOutcome
+
+
+def refine_by_eval(
+    spaces: "dict[Claim, CandidateSpace]",
+    preliminary: "dict[Claim, ClaimDistribution] | None",
+    engine: QueryEngine,
+    scope_config: ScopeConfig | None = None,
+    known_results: dict[SimpleAggregateQuery, Value] | None = None,
+) -> "dict[Claim, EvaluationOutcome]":
+    """Evaluate scoped candidates and build per-claim outcomes.
+
+    ``known_results`` carries results from earlier EM iterations so only
+    newly scoped queries hit the engine (the engine's own cache would also
+    absorb them; this avoids even the merge bookkeeping).
+    """
+    from repro.model.probability import EvaluationOutcome
+
+    known = known_results if known_results is not None else {}
+    config = scope_config or ScopeConfig()
+    full_scope = config.max_evaluations_per_claim is None
+
+    scoped: dict[Claim, list[SimpleAggregateQuery]] = {}
+    to_evaluate: set[SimpleAggregateQuery] = set()
+    for claim, space in spaces.items():
+        if full_scope:
+            queries = space.queries
+        else:
+            log_scores = None
+            if preliminary is not None and claim in preliminary:
+                log_scores = preliminary[claim].log_scores
+            queries = pick_scope(space, log_scores, config)
+        scoped[claim] = queries
+        to_evaluate.update(q for q in queries if q not in known)
+
+    if to_evaluate:
+        known.update(engine.evaluate(to_evaluate))
+
+    outcomes: dict[Claim, EvaluationOutcome] = {}
+    for claim, space in spaces.items():
+        restriction = None if full_scope else set(scoped[claim])
+        outcomes[claim] = EvaluationOutcome.from_results(
+            space, known, scoped=restriction
+        )
+    return outcomes

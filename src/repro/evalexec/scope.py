@@ -1,0 +1,45 @@
+"""Evaluation-scope selection (paper Function PickScope, Section 6.1).
+
+The paper expands the scope along marginal probabilities of query
+characteristics until an evaluation cost threshold is hit. Candidate
+spaces here are already bounded by the retrieval budgets ("# Hits",
+aggregation-column budget), so the default scope is the full space —
+matching the paper's observation that one cube query can serve the whole
+cross product. A per-claim budget trims to the most probable candidates
+when set (used in the Figure 13 time/quality sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.db.query import SimpleAggregateQuery
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.model
+    from repro.model.candidates import CandidateSpace
+
+
+@dataclass(frozen=True)
+class ScopeConfig:
+    """Evaluation budget per claim (None = evaluate the full space)."""
+
+    max_evaluations_per_claim: int | None = None
+
+
+def pick_scope(
+    space: CandidateSpace,
+    preliminary_log_scores: np.ndarray | None,
+    config: ScopeConfig | None = None,
+) -> list[SimpleAggregateQuery]:
+    """Queries worth evaluating for one claim, most promising first."""
+    config = config or ScopeConfig()
+    budget = config.max_evaluations_per_claim
+    if budget is None or budget >= len(space):
+        return list(space.queries)
+    if preliminary_log_scores is None or len(preliminary_log_scores) != len(space):
+        return list(space.queries)[:budget]
+    order = np.argsort(-preliminary_log_scores, kind="stable")[:budget]
+    return [space.queries[i] for i in order]

@@ -1,0 +1,29 @@
+"""Query fragments: the building blocks of candidate queries.
+
+A fragment is an aggregation function, an aggregation column, or a unary
+equality predicate (paper Section 4.1). Fragments carry keyword sets
+derived from identifiers, values, synonyms, and data dictionaries
+(Section 4.2), and are indexed in the IR engine for retrieval by claim
+keywords.
+"""
+
+from repro.fragments.extract import ExtractionConfig, extract_fragments
+from repro.fragments.fragments import (
+    ColumnFragment,
+    FragmentCatalog,
+    FunctionFragment,
+    PredicateFragment,
+    QueryFragment,
+)
+from repro.fragments.indexer import FragmentIndex
+
+__all__ = [
+    "ColumnFragment",
+    "ExtractionConfig",
+    "FragmentCatalog",
+    "FragmentIndex",
+    "FunctionFragment",
+    "PredicateFragment",
+    "QueryFragment",
+    "extract_fragments",
+]

@@ -1,0 +1,110 @@
+"""Fragment types and the per-database fragment catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.predicates import Predicate
+from repro.db.refs import ColumnRef
+
+#: Fixed keyword sets for aggregation functions (paper Section 4.2
+#: associates "each standard SQL aggregation function with a fixed keyword
+#: set").
+FUNCTION_KEYWORDS: dict[AggregateFunction, tuple[str, ...]] = {
+    AggregateFunction.COUNT: ("count", "number", "total", "many", "times", "were"),
+    AggregateFunction.COUNT_DISTINCT: (
+        "distinct", "different", "unique", "count", "number", "separate",
+    ),
+    AggregateFunction.SUM: ("sum", "total", "combined", "overall", "altogether"),
+    AggregateFunction.AVG: ("average", "mean", "typical", "typically", "per"),
+    AggregateFunction.MIN: (
+        "minimum", "lowest", "smallest", "least", "fewest", "shortest",
+    ),
+    AggregateFunction.MAX: (
+        "maximum", "highest", "largest", "most", "biggest", "longest", "top",
+    ),
+    AggregateFunction.PERCENTAGE: (
+        "percentage", "percent", "share", "proportion", "fraction", "rate",
+    ),
+    AggregateFunction.CONDITIONAL_PROBABILITY: (
+        "probability", "chance", "likelihood", "percent", "given", "among",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class QueryFragment:
+    """Base class; concrete fragments add their payload."""
+
+    keywords: tuple[str, ...] = field(compare=False, default=())
+
+
+@dataclass(frozen=True)
+class FunctionFragment(QueryFragment):
+    function: AggregateFunction = AggregateFunction.COUNT
+
+    def __str__(self) -> str:
+        return f"fn:{self.function.sql_name}"
+
+
+@dataclass(frozen=True)
+class ColumnFragment(QueryFragment):
+    """An aggregation column (``*`` fragments have a star column ref)."""
+
+    column: ColumnRef = ColumnRef("", "*")
+
+    @property
+    def is_star(self) -> bool:
+        return self.column.is_star
+
+    def __str__(self) -> str:
+        return f"col:{self.column}"
+
+
+@dataclass(frozen=True)
+class PredicateFragment(QueryFragment):
+    predicate: Predicate = None  # type: ignore[assignment]
+
+    @property
+    def column(self) -> ColumnRef:
+        return self.predicate.column
+
+    def __str__(self) -> str:
+        return f"pred:{self.predicate.column}={self.predicate.value!r}"
+
+
+@dataclass
+class FragmentCatalog:
+    """All fragments extracted from one database."""
+
+    functions: list[FunctionFragment]
+    columns: list[ColumnFragment]
+    predicates: list[PredicateFragment]
+
+    def __len__(self) -> int:
+        return len(self.functions) + len(self.columns) + len(self.predicates)
+
+    def predicate_columns(self) -> set[ColumnRef]:
+        return {fragment.column for fragment in self.predicates}
+
+    def candidate_space_size(self, max_predicates: int = 3) -> int:
+        """Number of Simple Aggregate Queries this catalog can form
+        (the quantity plotted in the paper's Figure 8).
+
+        Counts every (function, column) pair combined with every way of
+        choosing at most ``max_predicates`` predicates on distinct columns.
+        """
+        from collections import Counter
+        from itertools import combinations
+
+        per_column = Counter(fragment.column for fragment in self.predicates)
+        counts = list(per_column.values())
+        subsets = 1  # empty predicate set
+        for size in range(1, max_predicates + 1):
+            for combo in combinations(counts, size):
+                product = 1
+                for value in combo:
+                    product *= value
+                subsets += product
+        return len(self.functions) * len(self.columns) * subsets

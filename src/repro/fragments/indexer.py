@@ -1,0 +1,90 @@
+"""IR indexes over the fragment catalog.
+
+Fragments are indexed per category — functions, aggregation columns,
+predicates — because the probabilistic model normalizes relevance scores
+within each category (paper Section 5.3: ``Pr(S|Q)`` factorizes into
+function / column / restriction components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fragments.fragments import (
+    ColumnFragment,
+    FragmentCatalog,
+    FunctionFragment,
+    PredicateFragment,
+)
+from repro.ir.analysis import Analyzer
+from repro.ir.index import InvertedIndex
+from repro.ir.search import search
+
+
+@dataclass
+class RelevanceScores:
+    """Per-claim relevance scores for retrieved fragments (unretrieved
+    fragments are absent and treated as zero-relevance by the model)."""
+
+    functions: dict[FunctionFragment, float]
+    columns: dict[ColumnFragment, float]
+    predicates: dict[PredicateFragment, float]
+
+    def total_fragments(self) -> int:
+        return len(self.functions) + len(self.columns) + len(self.predicates)
+
+
+class FragmentIndex:
+    """Three per-category inverted indexes over one fragment catalog."""
+
+    def __init__(
+        self, catalog: FragmentCatalog, analyzer: Analyzer | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.analyzer = analyzer or Analyzer()
+        self._functions = InvertedIndex(self.analyzer)
+        for fragment in catalog.functions:
+            self._functions.add(fragment, tokens=list(fragment.keywords))
+        self._columns = InvertedIndex(self.analyzer)
+        for fragment in catalog.columns:
+            self._columns.add(fragment, tokens=list(fragment.keywords))
+        self._predicates = InvertedIndex(self.analyzer)
+        for fragment in catalog.predicates:
+            self._predicates.add(fragment, tokens=list(fragment.keywords))
+
+    def retrieve(
+        self,
+        weighted_keywords: dict[str, float],
+        predicate_hits: int = 20,
+        column_hits: int = 10,
+    ) -> RelevanceScores:
+        """Score fragments against one claim's weighted keyword context.
+
+        ``predicate_hits`` is the paper's "# Hits" knob (Lucene hits per
+        claim, Table 5 / Figure 13 left); ``column_hits`` is the
+        "# aggregation columns" knob (Figure 13 right). All aggregation
+        functions are always scored — there are only eight.
+        """
+        # Every aggregation function is always in scope (only eight exist);
+        # keywords merely modulate their scores.
+        function_scores = {fragment: 0.0 for fragment in self.catalog.functions}
+        function_scores.update(
+            (hit.payload, hit.score)
+            for hit in search(self._functions, weighted_keywords, top_k=None)
+        )
+        column_scores = {
+            hit.payload: hit.score
+            for hit in search(self._columns, weighted_keywords, top_k=column_hits)
+        }
+        # The '*' aggregation columns stay in scope even without keyword
+        # support: Count(*) is the most common claim query.
+        for fragment in self.catalog.columns:
+            if fragment.is_star:
+                column_scores.setdefault(fragment, 0.0)
+        predicate_scores = {
+            hit.payload: hit.score
+            for hit in search(
+                self._predicates, weighted_keywords, top_k=predicate_hits
+            )
+        }
+        return RelevanceScores(function_scores, column_scores, predicate_scores)

@@ -1,0 +1,38 @@
+"""Evaluation harness: metrics, corpus runner, ablations, user studies.
+
+Regenerates every measurement the paper reports: precision/recall/F1 on
+erroneous-claim detection, top-k coverage of ground-truth queries,
+processing statistics, and the simulated user studies.
+"""
+
+from repro.harness.metrics import (
+    CaseResult,
+    ClaimEvaluation,
+    RunMetrics,
+    aggregate_metrics,
+    evaluate_case,
+)
+from repro.harness.runner import CorpusRun, run_case, run_corpus
+from repro.harness.users import (
+    StudyOutcome,
+    UserProfile,
+    UserSimulator,
+    run_crowd_study,
+    run_user_study,
+)
+
+__all__ = [
+    "CaseResult",
+    "ClaimEvaluation",
+    "CorpusRun",
+    "RunMetrics",
+    "StudyOutcome",
+    "UserProfile",
+    "UserSimulator",
+    "aggregate_metrics",
+    "evaluate_case",
+    "run_case",
+    "run_corpus",
+    "run_crowd_study",
+    "run_user_study",
+]

@@ -1,0 +1,143 @@
+"""Metrics: precision / recall / F1 and top-k coverage (paper Section 7.1).
+
+- *Recall*: fraction of truly erroneous claims the system flagged.
+- *Precision*: fraction of flagged claims that are truly erroneous.
+- *Top-k coverage*: percentage of claims whose ground-truth query is among
+  the k most likely candidates (paper Definition 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checker import CheckReport
+from repro.core.verdict import ClaimVerdict
+from repro.corpus.spec import GroundTruthClaim, TestCase
+from repro.text.claims import Claim
+
+
+@dataclass
+class ClaimEvaluation:
+    """Ground truth vs system output for one claim."""
+
+    claim: Claim
+    truth: GroundTruthClaim
+    verdict: ClaimVerdict
+    truth_rank: int | None  # rank of the ground-truth query (1 = top)
+
+    @property
+    def flagged(self) -> bool:
+        return self.verdict.status.flagged
+
+    @property
+    def truly_erroneous(self) -> bool:
+        return not self.truth.is_correct
+
+    def covered_at(self, k: int) -> bool:
+        return self.truth_rank is not None and self.truth_rank <= k
+
+
+@dataclass
+class CaseResult:
+    """One article's evaluation."""
+
+    case: TestCase
+    report: CheckReport
+    evaluations: list[ClaimEvaluation]
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics over a set of case results."""
+
+    n_claims: int
+    n_erroneous: int
+    n_flagged: int
+    true_positives: int
+    coverage_counts: dict[int, int]
+    coverage_counts_correct: dict[int, int]
+    coverage_counts_incorrect: dict[int, int]
+    n_correct_claims: int
+    total_seconds: float
+
+    @property
+    def recall(self) -> float:
+        if self.n_erroneous == 0:
+            return 0.0
+        return self.true_positives / self.n_erroneous
+
+    @property
+    def precision(self) -> float:
+        if self.n_flagged == 0:
+            return 0.0
+        return self.true_positives / self.n_flagged
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def top_k_coverage(self, k: int) -> float:
+        """Overall top-k coverage in percent."""
+        if self.n_claims == 0:
+            return 0.0
+        return 100.0 * self.coverage_counts.get(k, 0) / self.n_claims
+
+    def top_k_coverage_correct(self, k: int) -> float:
+        if self.n_correct_claims == 0:
+            return 0.0
+        return 100.0 * self.coverage_counts_correct.get(k, 0) / self.n_correct_claims
+
+    def top_k_coverage_incorrect(self, k: int) -> float:
+        if self.n_erroneous == 0:
+            return 0.0
+        return (
+            100.0 * self.coverage_counts_incorrect.get(k, 0) / self.n_erroneous
+        )
+
+
+#: Ranks at which coverage is tabulated (paper Figures 10/11, Table 10).
+COVERAGE_KS = (1, 2, 3, 5, 10, 20)
+
+
+def evaluate_case(case: TestCase, report: CheckReport) -> CaseResult:
+    """Align report verdicts with the case's ground truth."""
+    evaluations = []
+    for claim, truth in zip(report.claims, case.ground_truth):
+        verdict = report.verdict_for(claim)
+        rank = verdict.distribution.rank_of(truth.query)
+        evaluations.append(ClaimEvaluation(claim, truth, verdict, rank))
+    return CaseResult(case, report, evaluations)
+
+
+def aggregate_metrics(results: list[CaseResult]) -> RunMetrics:
+    """Pool claim evaluations across cases into one metrics object."""
+    evaluations = [e for result in results for e in result.evaluations]
+    n_claims = len(evaluations)
+    n_erroneous = sum(1 for e in evaluations if e.truly_erroneous)
+    n_flagged = sum(1 for e in evaluations if e.flagged)
+    true_positives = sum(
+        1 for e in evaluations if e.flagged and e.truly_erroneous
+    )
+    coverage: dict[int, int] = {}
+    coverage_correct: dict[int, int] = {}
+    coverage_incorrect: dict[int, int] = {}
+    for k in COVERAGE_KS:
+        coverage[k] = sum(1 for e in evaluations if e.covered_at(k))
+        coverage_correct[k] = sum(
+            1 for e in evaluations if not e.truly_erroneous and e.covered_at(k)
+        )
+        coverage_incorrect[k] = sum(
+            1 for e in evaluations if e.truly_erroneous and e.covered_at(k)
+        )
+    return RunMetrics(
+        n_claims=n_claims,
+        n_erroneous=n_erroneous,
+        n_flagged=n_flagged,
+        true_positives=true_positives,
+        coverage_counts=coverage,
+        coverage_counts_correct=coverage_correct,
+        coverage_counts_incorrect=coverage_incorrect,
+        n_correct_claims=n_claims - n_erroneous,
+        total_seconds=sum(result.report.total_seconds for result in results),
+    )

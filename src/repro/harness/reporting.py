@@ -1,0 +1,57 @@
+"""Plain-text table/figure rendering for benchmark output.
+
+Benchmarks print the same rows and series the paper reports; these helpers
+keep the formatting consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [_render_cell(cell) for cell in row]
+        rendered += [""] * (columns - len(rendered))
+        for index, cell in enumerate(rendered[:columns]):
+            widths[index] = max(widths[index], len(cell))
+        rendered_rows.append(rendered)
+    lines = [f"=== {title} ==="]
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(rendered[i].ljust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: dict[str, Sequence[tuple]]) -> str:
+    """Figure-style output: one labelled (x, y) series per line group."""
+    lines = [f"=== {title} ==="]
+    for label, points in series.items():
+        rendered = ", ".join(
+            f"({_render_cell(x)}, {_render_cell(y)})" for x, y in points
+        )
+        lines.append(f"  {label}: {rendered}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

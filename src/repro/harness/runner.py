@@ -1,0 +1,64 @@
+"""Run the AggChecker over corpus cases in fully automated mode."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker import AggChecker
+from repro.core.config import AggCheckerConfig
+from repro.corpus.generator import Corpus
+from repro.corpus.spec import TestCase
+from repro.db.engine import EngineStats
+from repro.harness.metrics import (
+    CaseResult,
+    RunMetrics,
+    aggregate_metrics,
+    evaluate_case,
+)
+
+
+@dataclass
+class CorpusRun:
+    """All artifacts of one automated-verification pass over a corpus."""
+
+    results: list[CaseResult]
+    metrics: RunMetrics
+    engine_stats: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.metrics.total_seconds
+
+
+def run_case(
+    case: TestCase, config: AggCheckerConfig | None = None
+) -> CaseResult:
+    """Verify one test case against its ground truth."""
+    checker = AggChecker(
+        case.database, config or AggCheckerConfig(), case.data_dictionary
+    )
+    report = checker.check_claims(case.document, case.claims)
+    return evaluate_case(case, report)
+
+
+def run_corpus(
+    corpus: Corpus,
+    config: AggCheckerConfig | None = None,
+    limit: int | None = None,
+) -> CorpusRun:
+    """Verify every case of the corpus (or the first ``limit`` cases)."""
+    cases = corpus.cases if limit is None else corpus.cases[:limit]
+    results = []
+    totals = EngineStats()
+    for case in cases:
+        result = run_case(case, config)
+        results.append(result)
+        stats = result.report.engine_stats
+        totals.queries_requested += stats.queries_requested
+        totals.physical_queries += stats.physical_queries
+        totals.cube_queries += stats.cube_queries
+        totals.cache_hits += stats.cache_hits
+        totals.cache_misses += stats.cache_misses
+        totals.rows_scanned += stats.rows_scanned
+        totals.query_seconds += stats.query_seconds
+    return CorpusRun(results, aggregate_metrics(results), totals)

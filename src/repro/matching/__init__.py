@@ -1,0 +1,13 @@
+"""Keyword matching: claims -> weighted keyword contexts -> relevance scores.
+
+Implements the paper's Algorithm 1 (``KeywordMatch``) and Algorithm 2
+(``ClaimKeywords``): keywords in the claim sentence are weighted by inverse
+dependency-tree distance from the claimed value; keywords from the previous
+sentence, the paragraph start, and enclosing headlines are added with
+discounted weights; the weighted context queries the fragment index.
+"""
+
+from repro.matching.context import ContextConfig, claim_keywords
+from repro.matching.matcher import keyword_match
+
+__all__ = ["ContextConfig", "claim_keywords", "keyword_match"]

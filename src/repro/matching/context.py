@@ -1,0 +1,113 @@
+"""Claim keyword-context extraction (paper Algorithm 2).
+
+For a claim ``c`` in sentence ``s``:
+
+- every word of ``s`` gets weight ``1 / TreeDistance(word, c)``;
+- ``m`` is the minimum of those weights;
+- words of the previous sentence and of the paragraph's first sentence get
+  ``0.4 * m``;
+- words of every enclosing headline get ``0.7 * m``;
+- (ablation source) synonyms of claim-sentence words get a discounted
+  share of the source word's weight.
+
+Weights for repeated words combine by maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.analysis import STOPWORDS
+from repro.nlp.dependency import build_dependency_tree
+from repro.nlp.tokens import Token
+from repro.nlp.wordnet import synonyms
+from repro.text.claims import Claim
+
+#: Discounts from the paper's Algorithm 2.
+PARAGRAPH_WEIGHT = 0.4
+HEADLINE_WEIGHT = 0.7
+#: Weight share given to claim-side synonym expansions (not specified in
+#: the paper; held fixed across all experiments).
+SYNONYM_SHARE = 0.6
+
+
+@dataclass(frozen=True)
+class ContextConfig:
+    """Keyword sources, matching the ablation ladder of Table 5 block 1."""
+
+    use_previous_sentence: bool = True
+    use_paragraph_start: bool = True
+    use_synonyms: bool = True
+    use_headlines: bool = True
+
+    @classmethod
+    def sentence_only(cls) -> "ContextConfig":
+        return cls(False, False, False, False)
+
+
+def claim_keywords(
+    claim: Claim, config: ContextConfig | None = None
+) -> dict[str, float]:
+    """Weighted keyword context for one claim."""
+    config = config or ContextConfig()
+    weights: dict[str, float] = {}
+
+    sentence = claim.sentence
+    tree = build_dependency_tree(sentence.tokens)
+    claim_indexes = set(claim.mention.token_indexes)
+    sentence_minimum = 1.0
+    for token in sentence.tokens:
+        if token.index in claim_indexes or not _is_keyword(token):
+            continue
+        distance = max(
+            min(tree.distance(token.index, index) for index in claim_indexes),
+            1,
+        )
+        weight = 1.0 / distance
+        sentence_minimum = min(sentence_minimum, weight)
+        _accumulate(weights, token.lower, weight)
+        if config.use_synonyms:
+            for synonym in synonyms(token.lower):
+                _accumulate(weights, synonym, weight * SYNONYM_SHARE)
+
+    m = sentence_minimum
+
+    if config.use_previous_sentence and sentence.previous is not None:
+        _add_sentence_words(weights, sentence.previous.tokens, PARAGRAPH_WEIGHT * m)
+    if config.use_paragraph_start:
+        first = sentence.paragraph.first_sentence
+        if first is not None and first is not sentence:
+            _add_sentence_words(weights, first.tokens, PARAGRAPH_WEIGHT * m)
+    if config.use_headlines:
+        for section in sentence.paragraph.section.ancestors():
+            if section.headline:
+                _add_headline_words(weights, section.headline, HEADLINE_WEIGHT * m)
+    return weights
+
+
+def _is_keyword(token: Token) -> bool:
+    return (
+        token.is_word
+        and token.lower not in STOPWORDS
+        and not token.is_punctuation
+    )
+
+
+def _add_sentence_words(
+    weights: dict[str, float], tokens: list[Token], weight: float
+) -> None:
+    for token in tokens:
+        if _is_keyword(token):
+            _accumulate(weights, token.lower, weight)
+
+
+def _add_headline_words(
+    weights: dict[str, float], headline: str, weight: float
+) -> None:
+    from repro.nlp.tokens import tokenize_with_punct
+
+    _add_sentence_words(weights, tokenize_with_punct(headline), weight)
+
+
+def _accumulate(weights: dict[str, float], word: str, weight: float) -> None:
+    weights[word] = max(weights.get(word, 0.0), weight)

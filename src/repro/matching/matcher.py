@@ -1,0 +1,28 @@
+"""Relevance-score computation per claim (paper Algorithm 1)."""
+
+from __future__ import annotations
+
+from repro.fragments.indexer import FragmentIndex, RelevanceScores
+from repro.matching.context import ContextConfig, claim_keywords
+from repro.text.claims import Claim
+
+
+def keyword_match(
+    claims: list[Claim],
+    index: FragmentIndex,
+    context_config: ContextConfig | None = None,
+    predicate_hits: int = 20,
+    column_hits: int = 10,
+) -> dict[Claim, RelevanceScores]:
+    """Map each claim to relevance scores over query fragments.
+
+    This is the paper's ``KeywordMatch``: extract the claim's weighted
+    keyword context (Algorithm 2), then query the fragment indexes.
+    """
+    scores: dict[Claim, RelevanceScores] = {}
+    for claim in claims:
+        keywords = claim_keywords(claim, context_config)
+        scores[claim] = index.retrieve(
+            keywords, predicate_hits=predicate_hits, column_hits=column_hits
+        )
+    return scores

@@ -1,0 +1,27 @@
+"""Probabilistic claim-to-query model (paper Section 5).
+
+Each claim is mapped to a probability distribution over candidate Simple
+Aggregate Queries. The distribution combines three signals (Eq. 2-5):
+
+- keyword-based relevance scores per query fragment (``Sc``),
+- query evaluation results compared against the claimed value (``Ec``),
+- document-level priors over query characteristics (``Θ``), learned by a
+  hard expectation-maximization loop (Algorithm 3).
+"""
+
+from repro.model.candidates import CandidateConfig, CandidateSpace, build_candidates
+from repro.model.em import EmConfig, InferenceResult, query_and_learn
+from repro.model.priors import Priors
+from repro.model.probability import ClaimDistribution, compute_distribution
+
+__all__ = [
+    "CandidateConfig",
+    "CandidateSpace",
+    "ClaimDistribution",
+    "EmConfig",
+    "InferenceResult",
+    "Priors",
+    "build_candidates",
+    "compute_distribution",
+    "query_and_learn",
+]

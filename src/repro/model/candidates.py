@@ -1,0 +1,205 @@
+"""Candidate query spaces per claim (paper Section 4.4).
+
+Combining retrieved fragments "in all possible ways (within the boundaries
+of the query model)" yields the claim-specific candidate space: one
+aggregation function x one aggregation column x a set of equality
+predicates on distinct columns. Conditional-probability candidates
+additionally choose which predicate is the condition.
+
+The space is stored factorized (function x column x predicate-subset index
+arrays) so the EM loop can re-score tens of thousands of candidates per
+claim with a handful of numpy operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.query import AggregateSpec, SimpleAggregateQuery
+from repro.fragments.fragments import (
+    ColumnFragment,
+    FunctionFragment,
+    PredicateFragment,
+)
+from repro.fragments.indexer import RelevanceScores
+from repro.text.claims import Claim
+
+#: Floor added to keyword scores so unretrieved-but-in-scope fragments
+#: (e.g. the ``*`` column) keep non-zero probability.
+SCORE_FLOOR_SHARE = 0.05
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """Scope of the candidate space.
+
+    ``max_predicates`` is the paper's ``m`` (at most m predicates per
+    claim; m=3 in the paper, default 2 here matching the corpus where no
+    claim uses three — Figure 9c). ``max_subsets`` caps the number of
+    predicate combinations per claim (cost control, see PickScope).
+    """
+
+    max_predicates: int = 2
+    max_subsets: int = 600
+    include_conditional_probability: bool = True
+
+
+@dataclass
+class CandidateSpace:
+    """Factorized candidate space for one claim."""
+
+    claim: Claim
+    functions: list[FunctionFragment]
+    columns: list[ColumnFragment]
+    subsets: list[tuple[PredicateFragment, ...]]
+    #: log keyword probability per function / column / subset
+    fn_keyword_log: np.ndarray
+    col_keyword_log: np.ndarray
+    subset_keyword_log: np.ndarray
+    #: flattened candidates
+    queries: list[SimpleAggregateQuery] = field(default_factory=list)
+    fn_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+    col_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+    subset_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def build_candidates(
+    claim: Claim,
+    scores: RelevanceScores,
+    config: CandidateConfig | None = None,
+) -> CandidateSpace:
+    """Construct the candidate space for one claim from its relevance
+    scores."""
+    config = config or CandidateConfig()
+
+    functions = list(scores.functions)
+    fn_keyword_log = _normalized_log_scores(
+        [scores.functions[f] for f in functions]
+    )
+    columns = list(scores.columns)
+    col_keyword_log = _normalized_log_scores(
+        [scores.columns[c] for c in columns]
+    )
+
+    subsets, subset_keyword_log = _predicate_subsets(scores, config)
+
+    space = CandidateSpace(
+        claim=claim,
+        functions=functions,
+        columns=columns,
+        subsets=subsets,
+        fn_keyword_log=fn_keyword_log,
+        col_keyword_log=col_keyword_log,
+        subset_keyword_log=subset_keyword_log,
+    )
+    _materialize_queries(space, config)
+    return space
+
+
+def _normalized_log_scores(raw: list[float]) -> np.ndarray:
+    """Scores -> log probabilities with a floor share for weak entries
+    (paper: Pr(S|Q) proportional to the fragment's relevance score)."""
+    if not raw:
+        return np.zeros(0)
+    array = np.asarray(raw, dtype=float)
+    array = np.maximum(array, 0.0)
+    peak = array.max()
+    floor = peak * SCORE_FLOOR_SHARE if peak > 0 else 1.0
+    array = array + floor
+    return np.log(array / array.sum())
+
+
+def _predicate_subsets(
+    scores: RelevanceScores, config: CandidateConfig
+) -> tuple[list[tuple[PredicateFragment, ...]], np.ndarray]:
+    fragments = sorted(
+        scores.predicates, key=lambda f: -scores.predicates[f]
+    )
+    total = sum(scores.predicates.values()) or 1.0
+    log_share = {
+        fragment: math.log(max(scores.predicates[fragment], 1e-12) / total)
+        for fragment in fragments
+    }
+    subsets: list[tuple[PredicateFragment, ...]] = [()]
+    subset_logs: list[float] = [0.0]
+    for size in range(1, config.max_predicates + 1):
+        for combo in combinations(fragments, size):
+            columns = {fragment.column for fragment in combo}
+            if len(columns) != size:
+                continue  # one restriction per column
+            subsets.append(combo)
+            subset_logs.append(sum(log_share[f] for f in combo))
+    if len(subsets) > config.max_subsets:
+        # Keep the empty set plus the highest-scoring subsets.
+        order = sorted(
+            range(1, len(subsets)), key=lambda i: -subset_logs[i]
+        )[: config.max_subsets - 1]
+        keep = [0] + sorted(order)
+        subsets = [subsets[i] for i in keep]
+        subset_logs = [subset_logs[i] for i in keep]
+    return subsets, np.asarray(subset_logs)
+
+
+def _materialize_queries(space: CandidateSpace, config: CandidateConfig) -> None:
+    queries: list[SimpleAggregateQuery] = []
+    fn_idx: list[int] = []
+    col_idx: list[int] = []
+    subset_idx: list[int] = []
+    for fi, fn_fragment in enumerate(space.functions):
+        function = fn_fragment.function
+        if (
+            function is AggregateFunction.CONDITIONAL_PROBABILITY
+            and not config.include_conditional_probability
+        ):
+            continue
+        for ci, col_fragment in enumerate(space.columns):
+            if not _valid_pair(function, col_fragment):
+                continue
+            spec = AggregateSpec(function, col_fragment.column)
+            for si, subset in enumerate(space.subsets):
+                predicates = tuple(f.predicate for f in subset)
+                if function is AggregateFunction.CONDITIONAL_PROBABILITY:
+                    if len(predicates) < 2:
+                        continue
+                    for k in range(len(predicates)):
+                        condition = predicates[k]
+                        event = predicates[:k] + predicates[k + 1 :]
+                        queries.append(
+                            SimpleAggregateQuery(spec, event, condition)
+                        )
+                        fn_idx.append(fi)
+                        col_idx.append(ci)
+                        subset_idx.append(si)
+                else:
+                    queries.append(SimpleAggregateQuery(spec, predicates))
+                    fn_idx.append(fi)
+                    col_idx.append(ci)
+                    subset_idx.append(si)
+    space.queries = queries
+    space.fn_index = np.asarray(fn_idx, dtype=np.int32)
+    space.col_index = np.asarray(col_idx, dtype=np.int32)
+    space.subset_index = np.asarray(subset_idx, dtype=np.int32)
+
+
+def _valid_pair(function: AggregateFunction, column: ColumnFragment) -> bool:
+    if column.is_star:
+        # Only the count family and ratio functions work on '*'.
+        return function in (
+            AggregateFunction.COUNT,
+            AggregateFunction.PERCENTAGE,
+            AggregateFunction.CONDITIONAL_PROBABILITY,
+        )
+    if function is AggregateFunction.COUNT_DISTINCT:
+        return True
+    if function.needs_numeric_column:
+        return True  # catalog only offers numeric aggregation columns
+    # Count / Percentage / CondProb on a real column are valid SQL.
+    return True

@@ -1,0 +1,111 @@
+"""Document-level priors Θ over query characteristics (paper Section 5.2).
+
+Θ holds: the probability of each aggregation function, of each aggregation
+column, and — independently per column — the probability that a restriction
+is placed on that column. The M-step sets each component to the (smoothed)
+fraction of maximum-likelihood claim queries with the property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.aggregates import AggregateFunction
+from repro.db.query import SimpleAggregateQuery
+from repro.db.refs import ColumnRef
+from repro.fragments.fragments import FragmentCatalog
+
+
+@dataclass
+class Priors:
+    """Θ = <p_f..., p_a..., p_r...> (paper Eq. 1)."""
+
+    functions: dict[AggregateFunction, float]
+    columns: dict[ColumnRef, float]
+    restrictions: dict[ColumnRef, float]
+
+    @classmethod
+    def uniform(cls, catalog: FragmentCatalog) -> "Priors":
+        """The EM starting point: uninformative priors."""
+        n_functions = len(catalog.functions)
+        functions = {
+            fragment.function: 1.0 / n_functions for fragment in catalog.functions
+        }
+        n_columns = len(catalog.columns)
+        columns = {
+            fragment.column: 1.0 / n_columns for fragment in catalog.columns
+        }
+        predicate_columns = sorted(catalog.predicate_columns())
+        n_restrictable = max(len(predicate_columns), 1)
+        restrictions = {
+            column: 1.0 / n_restrictable for column in predicate_columns
+        }
+        return cls(functions, columns, restrictions)
+
+    def update_from(
+        self,
+        ml_queries: list[SimpleAggregateQuery],
+        smoothing: float = 0.5,
+    ) -> "Priors":
+        """New priors from the maximum-likelihood query of each claim.
+
+        Laplace smoothing keeps every component strictly positive so the
+        E-step never zeroes out unseen characteristics.
+        """
+        n = len(ml_queries)
+        function_counts = {function: 0 for function in self.functions}
+        column_counts = {column: 0 for column in self.columns}
+        restriction_counts = {column: 0 for column in self.restrictions}
+        for query in ml_queries:
+            function = query.aggregate.function
+            if function in function_counts:
+                function_counts[function] += 1
+            column = query.aggregate.column
+            if column in column_counts:
+                column_counts[column] += 1
+            for predicate in query.all_predicates:
+                if predicate.column in restriction_counts:
+                    restriction_counts[predicate.column] += 1
+        functions = _smooth_distribution(function_counts, n, smoothing)
+        columns = _smooth_distribution(column_counts, n, smoothing)
+        restrictions = {
+            column: (count + smoothing) / (n + 2.0 * smoothing)
+            for column, count in restriction_counts.items()
+        }
+        return Priors(functions, columns, restrictions)
+
+    def distance(self, other: "Priors") -> float:
+        """L1 distance between parameter vectors (convergence check)."""
+        total = 0.0
+        for key, value in self.functions.items():
+            total += abs(value - other.functions.get(key, 0.0))
+        for key, value in self.columns.items():
+            total += abs(value - other.columns.get(key, 0.0))
+        for key, value in self.restrictions.items():
+            total += abs(value - other.restrictions.get(key, 0.0))
+        return total
+
+    def function_prior(self, function: AggregateFunction) -> float:
+        return self.functions.get(function, _MIN_PRIOR)
+
+    def column_prior(self, column: ColumnRef) -> float:
+        return self.columns.get(column, _MIN_PRIOR)
+
+    def restriction_prior(self, column: ColumnRef) -> float:
+        return min(
+            max(self.restrictions.get(column, _MIN_PRIOR), _MIN_PRIOR),
+            1.0 - _MIN_PRIOR,
+        )
+
+
+_MIN_PRIOR = 1e-6
+
+
+def _smooth_distribution(
+    counts: dict, total: int, smoothing: float
+) -> dict:
+    k = max(len(counts), 1)
+    denominator = total + smoothing * k
+    return {
+        key: (count + smoothing) / denominator for key, count in counts.items()
+    }

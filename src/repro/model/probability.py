@@ -1,0 +1,193 @@
+"""Claim-specific query distributions (paper Section 5.3, Eq. 2-5).
+
+log Pr(Q = q | S, E) = log Pr(S|q) + log Pr(E|q) + log Pr(q) + const
+
+- Pr(S|q): product of normalized keyword relevance scores of q's fragments;
+- Pr(E|q): pT if q's evaluated result rounds to the claimed value, else
+  1 - pT (only candidates selected for evaluation are compared);
+- Pr(q):  priors Θ — p_f(q) * p_a(q) * prod_i p_r(i)^[restricted]
+  (1-p_r(i))^[not]; the common prod(1-p_r) factor cancels under
+  normalization, leaving a log-odds term per restricted column.
+
+Evaluation results never change between EM iterations, so the match vector
+is computed once per claim (:class:`EvaluationOutcome`) and re-used by
+every :func:`compute_distribution` call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.query import SimpleAggregateQuery
+from repro.db.values import Value
+from repro.model.candidates import CandidateSpace
+from repro.model.priors import Priors
+from repro.nlp.numbers import rounds_to
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class EvaluationOutcome:
+    """Evaluation results for one claim's candidates, aligned with the
+    candidate space (computed once, reused across EM iterations)."""
+
+    evaluations: dict[SimpleAggregateQuery, Value]
+    evaluated: np.ndarray  # bool per candidate
+    matches: np.ndarray  # bool per candidate (rounds to claimed value)
+
+    @classmethod
+    def from_results(
+        cls,
+        space: CandidateSpace,
+        results: dict[SimpleAggregateQuery, Value],
+        scoped: set[SimpleAggregateQuery] | None = None,
+    ) -> "EvaluationOutcome":
+        """Build the outcome for one claim.
+
+        ``results`` may be the document-wide result pool; ``scoped``
+        restricts which of this claim's candidates count as evaluated
+        (None = every candidate with a result). The rounding check is
+        memoized per distinct result value — counts repeat across
+        thousands of candidates.
+        """
+        claimed = space.claim.claimed_value
+        n = len(space)
+        evaluated = np.zeros(n, dtype=bool)
+        matches = np.zeros(n, dtype=bool)
+        match_cache: dict[Value, bool] = {}
+        missing = object()
+        for i, query in enumerate(space.queries):
+            if scoped is not None and query not in scoped:
+                continue
+            value = results.get(query, missing)
+            if value is missing:
+                continue
+            evaluated[i] = True
+            cached = match_cache.get(value)
+            if cached is None:
+                cached = rounds_to(value, claimed)
+                match_cache[value] = cached
+            matches[i] = cached
+        return cls(results, evaluated, matches)
+
+
+@dataclass
+class ClaimDistribution:
+    """Posterior over candidate queries for one claim."""
+
+    space: CandidateSpace
+    log_scores: np.ndarray
+    probabilities: np.ndarray
+    outcome: EvaluationOutcome | None
+
+    def top_queries(self, k: int) -> list[tuple[SimpleAggregateQuery, float]]:
+        """The k most likely candidates with their probabilities."""
+        if len(self.space) == 0:
+            return []
+        order = np.argsort(-self.probabilities, kind="stable")[:k]
+        return [
+            (self.space.queries[i], float(self.probabilities[i])) for i in order
+        ]
+
+    def top_query(self) -> SimpleAggregateQuery | None:
+        top = self.top_queries(1)
+        return top[0][0] if top else None
+
+    def result_of(self, query: SimpleAggregateQuery) -> Value:
+        if self.outcome is None:
+            return None
+        return self.outcome.evaluations.get(query)
+
+    def rank_of(self, query: SimpleAggregateQuery) -> int | None:
+        """1-based rank of a query in the distribution (None if absent)."""
+        try:
+            index = self.space.queries.index(query)
+        except ValueError:
+            return None
+        better = np.sum(self.probabilities > self.probabilities[index])
+        return int(better) + 1
+
+    def probability_correct(self) -> float:
+        """Probability mass on candidates whose result matches the claim."""
+        if self.outcome is None or len(self.space) == 0:
+            return 0.0
+        return float(self.probabilities[self.outcome.matches].sum())
+
+
+def compute_distribution(
+    space: CandidateSpace,
+    priors: Priors | None = None,
+    outcome: EvaluationOutcome | None = None,
+    p_true: float = 0.999,
+) -> ClaimDistribution:
+    """Combine keyword scores, priors, and evaluation results.
+
+    ``priors=None`` drops the Θ term and ``outcome=None`` drops the E term
+    (the Table 10 ablation ladder).
+    """
+    n = len(space)
+    if n == 0:
+        return ClaimDistribution(space, np.zeros(0), np.zeros(0), outcome)
+
+    log_scores = (
+        space.fn_keyword_log[space.fn_index]
+        + space.col_keyword_log[space.col_index]
+        + space.subset_keyword_log[space.subset_index]
+    )
+
+    if priors is not None:
+        log_scores = log_scores + _prior_term(space, priors)
+
+    if outcome is not None and outcome.evaluated.any():
+        log_true = math.log(p_true)
+        log_false = math.log(max(1.0 - p_true, 1e-12))
+        eval_term = np.where(outcome.matches, log_true, log_false)
+        # Candidates not selected for evaluation are excluded from the
+        # comparison (paper Section 5.3).
+        eval_term = np.where(outcome.evaluated, eval_term, _NEG_INF)
+        log_scores = log_scores + eval_term
+
+    probabilities = _softmax(log_scores)
+    return ClaimDistribution(space, log_scores, probabilities, outcome)
+
+
+def _prior_term(space: CandidateSpace, priors: Priors) -> np.ndarray:
+    fn_prior = np.array(
+        [math.log(priors.function_prior(f.function)) for f in space.functions]
+    )
+    col_prior = np.array(
+        [math.log(priors.column_prior(c.column)) for c in space.columns]
+    )
+    subset_prior = np.array(
+        [
+            sum(
+                math.log(priors.restriction_prior(f.column))
+                - math.log(1.0 - priors.restriction_prior(f.column))
+                for f in subset
+            )
+            for subset in space.subsets
+        ]
+    )
+    return (
+        fn_prior[space.fn_index]
+        + col_prior[space.col_index]
+        + subset_prior[space.subset_index]
+    )
+
+
+def _softmax(log_scores: np.ndarray) -> np.ndarray:
+    finite = log_scores[np.isfinite(log_scores)]
+    if finite.size == 0:
+        return np.full(log_scores.shape, 1.0 / max(len(log_scores), 1))
+    shifted = log_scores - finite.max()
+    with np.errstate(under="ignore"):
+        weights = np.exp(np.clip(shifted, -700.0, 0.0))
+    weights[~np.isfinite(log_scores)] = 0.0
+    total = weights.sum()
+    if total <= 0:
+        return np.full(log_scores.shape, 1.0 / max(len(log_scores), 1))
+    return weights / total

@@ -1,0 +1,40 @@
+"""Lightweight NLP toolkit (Stanford CoreNLP + WordNet substitute).
+
+Provides exactly the capabilities AggChecker consumes:
+
+- word/punctuation tokenization (:mod:`repro.nlp.tokens`),
+- sentence splitting (:mod:`repro.nlp.sentences`),
+- numeral understanding — digits, spelled-out numbers, percentages,
+  magnitudes — plus the paper's admissible-rounding check
+  (:mod:`repro.nlp.numbers`),
+- a deterministic heuristic dependency tree exposing ``TreeDistance``
+  (:mod:`repro.nlp.dependency`),
+- a curated synonym lexicon (:mod:`repro.nlp.wordnet`),
+- identifier decomposition for column names (:mod:`repro.nlp.decompose`).
+"""
+
+from repro.nlp.decompose import decompose_identifier
+from repro.nlp.dependency import DependencyTree, build_dependency_tree
+from repro.nlp.numbers import (
+    NumberMention,
+    extract_number_mentions,
+    round_to_significant,
+    rounds_to,
+)
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokens import Token, tokenize_with_punct
+from repro.nlp.wordnet import synonyms
+
+__all__ = [
+    "DependencyTree",
+    "NumberMention",
+    "Token",
+    "build_dependency_tree",
+    "decompose_identifier",
+    "extract_number_mentions",
+    "round_to_significant",
+    "rounds_to",
+    "split_sentences",
+    "synonyms",
+    "tokenize_with_punct",
+]

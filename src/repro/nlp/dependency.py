@@ -1,0 +1,103 @@
+"""Heuristic dependency tree exposing ``TreeDistance`` (paper Algorithm 2).
+
+The paper uses a Stanford dependency parse only through one signal: the
+tree distance between a claimed value and surrounding keywords, used to
+decide which keywords belong to which claim when a sentence contains
+several claims. We reproduce that signal with a deterministic clause-chunk
+tree:
+
+- the sentence splits into *chunks* at clause punctuation (commas,
+  semicolons, dashes) and coordinating conjunctions;
+- each chunk's *head* is its last content word (for predicate-nominal
+  clauses like "one was for gambling" this picks "gambling", matching the
+  paper's worked example where distance(one, gambling) = 1);
+- tokens attach to their chunk head; chunk heads chain left-to-right
+  (mirroring conj edges between clause roots).
+
+For the paper's Example 3 this yields distance 1 from 'one' to 'gambling'
+and distance 2 from 'three' to 'gambling', exactly as reported.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.tokens import Token
+
+#: Coordinating words that separate clauses for chunking purposes.
+_CLAUSE_BREAKERS = frozenset({"and", "but", "or", "while", "whereas", "though"})
+
+#: Words that never serve as a chunk head.
+_NON_HEAD_WORDS = frozenset(
+    """
+    a an and are as at be but by for if in into is it no not of on or such
+    that the their then there these they this to was will with were been
+    being have has had do does did than so its only just about there
+    """.split()
+)
+
+
+class DependencyTree:
+    """Token-level tree supporting pairwise distance queries."""
+
+    def __init__(self, tokens: list[Token], chunk_of: list[int], heads: list[int]):
+        self.tokens = tokens
+        self._chunk_of = chunk_of  # token index -> chunk number
+        self._heads = heads  # chunk number -> head token index
+
+    def chunk_of(self, token_index: int) -> int:
+        return self._chunk_of[token_index]
+
+    def is_head(self, token_index: int) -> bool:
+        chunk = self._chunk_of[token_index]
+        return self._heads[chunk] == token_index
+
+    def distance(self, left: int, right: int) -> int:
+        """Number of tree edges between two tokens."""
+        if left == right:
+            return 0
+        left_chunk = self._chunk_of[left]
+        right_chunk = self._chunk_of[right]
+        if left_chunk == right_chunk:
+            if self.is_head(left) or self.is_head(right):
+                return 1
+            return 2
+        hops = abs(left_chunk - right_chunk)  # chain between chunk heads
+        distance = hops
+        if not self.is_head(left):
+            distance += 1
+        if not self.is_head(right):
+            distance += 1
+        return distance
+
+
+def build_dependency_tree(tokens: list[Token]) -> DependencyTree:
+    """Construct the heuristic tree for one tokenized sentence."""
+    chunk_of: list[int] = []
+    chunk_members: list[list[int]] = [[]]
+    for token in tokens:
+        breaks = token.is_punctuation or token.lower in _CLAUSE_BREAKERS
+        if breaks and chunk_members[-1]:
+            chunk_members.append([])
+        chunk_of.append(len(chunk_members) - 1)
+        if not breaks:
+            chunk_members[-1].append(token.index)
+    if not chunk_members[-1]:
+        chunk_members.pop()
+    if not chunk_members:
+        chunk_members = [[token.index for token in tokens]]
+    # Clamp trailing tokens whose (empty) chunk was popped.
+    last_chunk = len(chunk_members) - 1
+    dense = [min(chunk, last_chunk) for chunk in chunk_of]
+    heads = [_chunk_head(tokens, members) for members in chunk_members]
+    return DependencyTree(tokens, dense, heads)
+
+
+def _chunk_head(tokens: list[Token], members: list[int]) -> int:
+    """Last content word of the chunk; falls back to the last member."""
+    content = [
+        i
+        for i in members
+        if tokens[i].is_word and tokens[i].lower not in _NON_HEAD_WORDS
+    ]
+    if content:
+        return content[-1]
+    return members[-1] if members else 0

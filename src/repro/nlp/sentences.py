@@ -1,0 +1,51 @@
+"""Sentence splitting with abbreviation handling."""
+
+from __future__ import annotations
+
+import re
+
+#: Abbreviations after which a period does not end a sentence.
+_ABBREVIATIONS = frozenset(
+    """
+    mr mrs ms dr prof st no vs etc e.g i.e jr sr inc corp co dept est
+    jan feb mar apr jun jul aug sep sept oct nov dec fig sec approx
+    """.split()
+)
+
+_BOUNDARY_RE = re.compile(r"([.!?])\s+(?=[\"'(]?[A-Z0-9])")
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split a paragraph into sentences.
+
+    Protects decimal numbers ("3.5 million"), common abbreviations
+    ("Mr. Smith"), and single-letter initials ("J. Doe").
+    """
+    text = " ".join(text.split())
+    if not text:
+        return []
+    sentences: list[str] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        end = match.end(1)
+        candidate = text[start:end].strip()
+        if _ends_with_abbreviation(candidate):
+            continue
+        if candidate:
+            sentences.append(candidate)
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences
+
+
+def _ends_with_abbreviation(sentence: str) -> bool:
+    if not sentence.endswith("."):
+        return False
+    last_word = sentence[:-1].rsplit(None, 1)[-1] if sentence[:-1].split() else ""
+    last_word = last_word.lower().lstrip("(\"'")
+    if last_word in _ABBREVIATIONS:
+        return True
+    # Single-letter initials: "J." in "J. Doe".
+    return len(last_word) == 1 and last_word.isalpha()

@@ -1,0 +1,51 @@
+"""Tokenization that preserves punctuation (needed for clause chunking)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(
+    r"""
+    \d+(?:st|nd|rd|th)\b     # digit ordinals: 4th, 22nd
+    | \d[\d,]*(?:\.\d+)?%?   # numbers: 1,234  3.5  13%
+    | [A-Za-z]+(?:'[A-Za-z]+)?  # words and contractions
+    | [,;:()\[\]–—-]  # clause punctuation kept as tokens
+    | [.!?]                  # sentence punctuation
+    """,
+    re.VERBOSE,
+)
+
+_PUNCTUATION = set(",;:()[]-–—.!?")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its position in the sentence."""
+
+    text: str
+    index: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_punctuation(self) -> bool:
+        return self.text in _PUNCTUATION
+
+    @property
+    def is_word(self) -> bool:
+        return bool(re.match(r"[A-Za-z]", self.text))
+
+    @property
+    def is_number_like(self) -> bool:
+        return bool(re.match(r"\d", self.text))
+
+
+def tokenize_with_punct(text: str) -> list[Token]:
+    """Tokenize a sentence, keeping punctuation as separate tokens."""
+    return [
+        Token(match.group(), i)
+        for i, match in enumerate(_TOKEN_RE.finditer(text))
+    ]

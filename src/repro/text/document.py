@@ -1,0 +1,145 @@
+"""Document / Section / Paragraph / Sentence with parent links.
+
+The keyword-context extraction of Algorithm 2 needs, for any claim
+sentence: its own tokens, the previous sentence in the paragraph, the first
+sentence of the paragraph, and the headlines of all enclosing sections
+("walking up" the hierarchy, paper Figure 4). The model stores exactly
+those links.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.errors import DocumentError
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokens import Token, tokenize_with_punct
+
+
+class Sentence:
+    """One sentence with its position inside its paragraph."""
+
+    def __init__(self, text: str, paragraph: "Paragraph", index: int) -> None:
+        if not text.strip():
+            raise DocumentError("sentence text must be non-empty")
+        self.text = text.strip()
+        self.paragraph = paragraph
+        self.index = index
+
+    @cached_property
+    def tokens(self) -> list[Token]:
+        return tokenize_with_punct(self.text)
+
+    @property
+    def previous(self) -> "Sentence | None":
+        if self.index == 0:
+            return None
+        return self.paragraph.sentences[self.index - 1]
+
+    @property
+    def is_paragraph_start(self) -> bool:
+        return self.index == 0
+
+    def __repr__(self) -> str:
+        return f"Sentence({self.text[:40]!r}...)"
+
+
+class Paragraph:
+    """A sequence of sentences inside one section."""
+
+    def __init__(self, section: "Section") -> None:
+        self.section = section
+        self.sentences: list[Sentence] = []
+
+    def add_text(self, text: str) -> None:
+        """Split raw paragraph text into sentences and append them."""
+        for part in split_sentences(text):
+            self.sentences.append(Sentence(part, self, len(self.sentences)))
+
+    @property
+    def first_sentence(self) -> Sentence | None:
+        return self.sentences[0] if self.sentences else None
+
+    @property
+    def text(self) -> str:
+        return " ".join(sentence.text for sentence in self.sentences)
+
+
+class Section:
+    """A headlined section containing paragraphs and subsections."""
+
+    def __init__(self, headline: str = "", parent: "Section | None" = None) -> None:
+        self.headline = headline.strip()
+        self.parent = parent
+        self.paragraphs: list[Paragraph] = []
+        self.subsections: list[Section] = []
+
+    def add_paragraph(self, text: str) -> Paragraph:
+        paragraph = Paragraph(self)
+        paragraph.add_text(text)
+        if paragraph.sentences:
+            self.paragraphs.append(paragraph)
+        return paragraph
+
+    def add_subsection(self, headline: str) -> "Section":
+        subsection = Section(headline, parent=self)
+        self.subsections.append(subsection)
+        return subsection
+
+    def ancestors(self) -> list["Section"]:
+        """This section, its parent, ... up to (and including) the root."""
+        chain: list[Section] = []
+        node: Section | None = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def walk(self):
+        """Depth-first traversal of this section and its descendants."""
+        yield self
+        for subsection in self.subsections:
+            yield from subsection.walk()
+
+
+class Document:
+    """A titled hierarchy of sections."""
+
+    def __init__(self, title: str = "") -> None:
+        self.root = Section(title)
+
+    @property
+    def title(self) -> str:
+        return self.root.headline
+
+    @classmethod
+    def from_plain_text(cls, title: str, paragraphs: list[str]) -> "Document":
+        """Build a flat document (one section) from paragraph strings."""
+        document = cls(title)
+        for text in paragraphs:
+            document.root.add_paragraph(text)
+        return document
+
+    def sections(self) -> list[Section]:
+        return list(self.root.walk())
+
+    def paragraphs(self) -> list[Paragraph]:
+        return [p for section in self.sections() for p in section.paragraphs]
+
+    def sentences(self) -> list[Sentence]:
+        return [s for paragraph in self.paragraphs() for s in paragraph.sentences]
+
+    def text(self) -> str:
+        """Full text including headlines (used by baselines)."""
+        parts = []
+        for section in self.sections():
+            if section.headline:
+                parts.append(section.headline)
+            parts.extend(paragraph.text for paragraph in section.paragraphs)
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"Document({self.title!r}, {len(self.sections())} sections, "
+            f"{len(self.sentences())} sentences)"
+        )

@@ -1,0 +1,101 @@
+"""Parse an HTML subset into the hierarchical document model.
+
+The paper's implementation "uses HTML markup but the document structure
+could be easily derived from the output format of any word processor"
+(Section 4.3). We support the same subset the corpus emits: ``<title>``,
+``<h1>``..``<h6>`` headlines establishing the section hierarchy, and
+``<p>`` paragraphs. Other tags are ignored; their text content flows into
+the enclosing paragraph.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from repro.errors import DocumentError
+from repro.text.document import Document, Section
+
+_HEADING_LEVELS = {f"h{i}": i for i in range(1, 7)}
+
+
+class _DocumentBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.document = Document()
+        # Stack of (level, section); the root sits at level 0.
+        self._stack: list[tuple[int, Section]] = [(0, self.document.root)]
+        self._text_parts: list[str] = []
+        self._collecting: str | None = None  # "title", "heading", "para"
+        self._pending_level = 0
+
+    # -- tag events -----------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        tag = tag.lower()
+        if tag in _HEADING_LEVELS:
+            self._flush_paragraph()
+            self._collecting = "heading"
+            self._pending_level = _HEADING_LEVELS[tag]
+            self._text_parts = []
+        elif tag == "title":
+            self._collecting = "title"
+            self._text_parts = []
+        elif tag == "p":
+            self._flush_paragraph()
+            self._collecting = "para"
+            self._text_parts = []
+        elif tag in ("br",):
+            self._text_parts.append(" ")
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in _HEADING_LEVELS and self._collecting == "heading":
+            self._open_section(self._pending_level, self._text())
+            self._collecting = None
+        elif tag == "title" and self._collecting == "title":
+            self.document.root.headline = self._text()
+            self._collecting = None
+        elif tag == "p" and self._collecting == "para":
+            self._flush_paragraph()
+
+    def handle_data(self, data: str) -> None:
+        if self._collecting is not None:
+            self._text_parts.append(data)
+
+    # -- helpers --------------------------------------------------------
+
+    def _text(self) -> str:
+        return " ".join("".join(self._text_parts).split())
+
+    def _flush_paragraph(self) -> None:
+        if self._collecting == "para":
+            text = self._text()
+            if text:
+                current = self._stack[-1][1]
+                current.add_paragraph(text)
+            self._collecting = None
+            self._text_parts = []
+
+    def _open_section(self, level: int, headline: str) -> None:
+        # Pop deeper-or-equal sections, then nest under the survivor.
+        while self._stack and self._stack[-1][0] >= level:
+            self._stack.pop()
+        if not self._stack:
+            self._stack = [(0, self.document.root)]
+        parent = self._stack[-1][1]
+        section = parent.add_subsection(headline)
+        self._stack.append((level, section))
+
+
+def parse_html(html: str) -> Document:
+    """Parse HTML text into a :class:`Document`."""
+    if not html.strip():
+        raise DocumentError("empty HTML input")
+    builder = _DocumentBuilder()
+    builder.feed(html)
+    builder.close()
+    builder._flush_paragraph()
+    document = builder.document
+    if not document.sentences():
+        raise DocumentError("document contains no text")
+    return document

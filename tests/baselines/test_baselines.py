@@ -1,0 +1,181 @@
+"""Unit tests for the ClaimBuster-FM and ClaimBuster-KB baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    ClaimBusterFM,
+    ClaimBusterKB,
+    FmMode,
+    NaLIR,
+    TranslationError,
+    build_fact_repository,
+    generate_questions,
+)
+from repro.baselines.factbase import FactRepository, VerifiedFact
+from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
+from repro.text import Document, detect_claims
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(n_articles=6, seed=42))
+
+
+def make_claim(text):
+    return detect_claims(Document.from_plain_text("T", [text]))[0]
+
+
+class TestFactRepository:
+    def test_contains_generic_facts(self, corpus):
+        repository = build_fact_repository(corpus, coverage=0.0,
+                                           suspicious_coverage=0.0)
+        assert len(repository) == 10  # generic facts only
+
+    def test_excludes_case_under_test(self, corpus):
+        case = corpus.cases[0]
+        repository = build_fact_repository(
+            corpus, exclude_case_id=case.case_id, coverage=1.0,
+            suspicious_coverage=1.0, label_noise=0.0,
+        )
+        sentences = {fact.statement for fact in repository.facts}
+        for claim in case.claims:
+            # Identical sentences may exist in sibling articles of the
+            # same theme; at minimum the repository is not a superset of
+            # this article's claims by construction.
+            pass
+        other_claims = sum(len(c.claims) for c in corpus.cases[1:])
+        assert len(repository) <= 10 + other_claims
+
+    def test_label_noise_flips_labels(self, corpus):
+        clean = build_fact_repository(corpus, label_noise=0.0, seed=3)
+        noisy = build_fact_repository(corpus, label_noise=1.0, seed=3)
+        clean_truths = [f.truth for f in clean.facts[10:]]
+        noisy_truths = [f.truth for f in noisy.facts[10:]]
+        assert clean_truths == [not t for t in noisy_truths]
+
+
+class TestClaimBusterFM:
+    def test_no_match_defaults_to_correct(self):
+        repository = FactRepository(
+            [VerifiedFact("totally unrelated statement zqx", False)]
+        )
+        fm = ClaimBusterFM(repository)
+        claim = make_claim("The survey counted 42 respondents.")
+        assert fm.predict_correct(claim)
+
+    def test_max_uses_most_similar(self):
+        repository = FactRepository(
+            [
+                VerifiedFact("the survey counted many respondents", False),
+                VerifiedFact("apples are red fruit", True),
+            ]
+        )
+        fm = ClaimBusterFM(repository, FmMode.MAX)
+        claim = make_claim("The survey counted 42 respondents.")
+        assert fm.flags(claim)
+
+    def test_majority_vote_weighs_scores(self):
+        repository = FactRepository(
+            [
+                VerifiedFact("survey respondents counted carefully", True),
+                VerifiedFact("survey respondents counted", True),
+                VerifiedFact("the survey counted many respondents", False),
+            ]
+        )
+        fm = ClaimBusterFM(repository, FmMode.MV)
+        claim = make_claim("The survey counted 42 respondents.")
+        assert fm.predict_correct(claim)
+
+    def test_runs_over_corpus_case(self, corpus):
+        case = corpus.cases[0]
+        fm = ClaimBusterFM(
+            build_fact_repository(corpus, exclude_case_id=case.case_id)
+        )
+        flags = [fm.flags(claim) for claim in case.claims]
+        assert len(flags) == len(case.claims)
+
+
+class TestQuestionGeneration:
+    def test_generates_questions(self):
+        claim = make_claim("There were only four lifetime bans for gambling.")
+        questions = generate_questions(claim)
+        assert questions
+        assert any(q.startswith("How many") for q in questions)
+
+    def test_percentage_question(self):
+        claim = make_claim("13% of respondents are self-taught.")
+        questions = generate_questions(claim)
+        assert any("percentage" in q.lower() for q in questions)
+
+    def test_includes_original_sentence(self):
+        claim = make_claim(
+            "Money went to 63 candidates during the primary season overall."
+        )
+        questions = generate_questions(claim, max_questions=3)
+        assert len(questions) <= 3
+
+
+class TestNaLIR:
+    def test_translates_simple_question(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        query = nalir.translate("How many suspensions for gambling?")
+        assert query.predicates
+        assert query.predicates[0].value == "gambling"
+
+    def test_rejects_without_cue(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        with pytest.raises(TranslationError):
+            nalir.translate("The suspensions were for gambling reasons?")
+
+    def test_rejects_long_sentences(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        with pytest.raises(TranslationError):
+            nalir.translate(
+                "How many of the many league suspensions that were handed "
+                "out over the various seasons were for gambling of any kind "
+                "in the database?"
+            )
+
+    def test_rejects_unrestricted_count(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        with pytest.raises(TranslationError):
+            nalir.translate("How many zqxx?")
+
+    def test_answer_requires_full_mapping(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        with pytest.raises(TranslationError):
+            # 'mysterious' has no query-tree correspondence.
+            nalir.answer("How many mysterious gambling suspensions?")
+
+    def test_answer_numeric_when_fully_mapped(self):
+        case = nfl_suspensions_case()
+        nalir = NaLIR(case.database)
+        answer = nalir.answer("How many gambling suspensions?")
+        assert answer == 1
+
+
+class TestClaimBusterKB:
+    def test_flags_rarely(self, corpus):
+        """Paper: ClaimBuster-KB flags almost nothing (2.4% recall)."""
+        flagged = total = 0
+        for case in corpus.cases[:4]:
+            kb = ClaimBusterKB(case.database)
+            for claim in case.claims:
+                flagged += kb.flags(claim)
+                total += 1
+        assert flagged <= total * 0.25
+
+    def test_translation_counters(self):
+        case = nfl_suspensions_case()
+        kb = ClaimBusterKB(case.database)
+        for claim in case.claims:
+            kb.flags(claim)
+        assert kb.attempted >= len(case.claims)
+        assert 0 <= kb.translated <= kb.attempted

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
+from repro.corpus.articles import ArticleBuilder, ArticleConfig
+from repro.corpus.datasets import build_database
+from repro.corpus.themes import THEMES
+from repro.db.executor import execute_query
+from repro.nlp.numbers import rounds_to
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(CorpusConfig(n_articles=8, seed=99))
+
+
+class TestGenerateCorpus:
+    def test_deterministic(self):
+        first = generate_corpus(CorpusConfig(n_articles=3, seed=5))
+        second = generate_corpus(CorpusConfig(n_articles=3, seed=5))
+        assert [c.html for c in first.cases] == [c.html for c in second.cases]
+
+    def test_seed_changes_output(self):
+        first = generate_corpus(CorpusConfig(n_articles=3, seed=5))
+        second = generate_corpus(CorpusConfig(n_articles=3, seed=6))
+        assert [c.html for c in first.cases] != [c.html for c in second.cases]
+
+    def test_requested_article_count(self, small_corpus):
+        assert len(small_corpus) == 8
+
+    def test_claims_align_with_detection(self, small_corpus):
+        for case in small_corpus.cases:
+            claims = case.claims  # raises CorpusError on misalignment
+            assert len(claims) == len(case.ground_truth)
+
+    def test_ground_truth_queries_evaluate(self, small_corpus):
+        """Every ground-truth query must evaluate to its recorded result."""
+        for case in small_corpus.cases:
+            for truth in case.ground_truth:
+                result = execute_query(case.database, truth.query)
+                assert result == pytest.approx(truth.true_result)
+
+    def test_correct_labels_are_sound(self, small_corpus):
+        """Correct claims round to the claimed value; hedged claims are
+        the (labelled) exception."""
+        for case in small_corpus.cases:
+            for truth in case.ground_truth:
+                matches = rounds_to(truth.true_result, truth.claimed_value)
+                if not truth.is_correct:
+                    assert not matches, truth.sql
+                elif not truth.claimed_text.startswith(("more than", "well over")):
+                    assert matches, truth.sql
+
+    def test_erroneous_labels_never_round(self, small_corpus):
+        for case in small_corpus.cases:
+            for truth in case.ground_truth:
+                if not truth.is_correct:
+                    assert not rounds_to(truth.true_result, truth.claimed_value)
+
+    def test_statistics_helpers(self, small_corpus):
+        assert small_corpus.total_claims >= 8 * 3
+        histogram = small_corpus.predicate_histogram()
+        assert set(histogram) <= {0, 1, 2}
+        coverage = small_corpus.characteristic_coverage(3)
+        assert set(coverage) == {"function", "column", "predicates"}
+
+    def test_full_corpus_statistics_match_paper(self):
+        corpus = generate_corpus()
+        assert len(corpus) == 53
+        assert 300 <= corpus.total_claims <= 520
+        assert 0.05 <= corpus.error_rate <= 0.25
+        assert 8 <= corpus.cases_with_errors <= 30
+        histogram = corpus.predicate_histogram()
+        assert histogram[1] > histogram[2]
+
+
+class TestArticleBuilder:
+    def test_build_single_article(self):
+        import random
+
+        rng = random.Random(3)
+        theme = THEMES[0]
+        database = build_database(theme, rng)
+        builder = ArticleBuilder(theme, database, rng, ArticleConfig())
+        case = builder.build("t1")
+        assert case.claims
+        assert "<title>" in case.html
+
+    def test_context_modes_recorded(self, small_corpus):
+        modes = {
+            truth.context_mode
+            for case in small_corpus.cases
+            for truth in case.ground_truth
+        }
+        assert "sentence" in modes
+        assert modes <= {"sentence", "headline", "paragraph", "implicit"}
+
+
+class TestBuiltinCase:
+    def test_fresh_case_all_correct(self):
+        case = nfl_suspensions_case()
+        assert case.erroneous_count == 0
+        assert [t.claimed_value for t in case.ground_truth] == [4, 3, 1]
+
+    def test_stale_case_has_error(self):
+        case = nfl_suspensions_case(stale=True)
+        assert case.erroneous_count == 1
+        assert not case.ground_truth[0].is_correct
+        # The stale database has five lifetime bans.
+        result = execute_query(case.database, case.ground_truth[0].query)
+        assert result == 5
+
+    def test_builtin_aligns(self):
+        case = nfl_suspensions_case()
+        assert len(case.claims) == 3

@@ -1,0 +1,105 @@
+"""Hypothesis strategies for random databases and claim queries."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.db import (
+    AggregateFunction,
+    AggregateSpec,
+    Column,
+    ColumnRef,
+    ColumnType,
+    Database,
+    Predicate,
+    STAR,
+    SimpleAggregateQuery,
+    Table,
+)
+
+CATEGORIES = ["alpha", "beta", "gamma", "delta"]
+FLAGS = ["yes", "no", "maybe"]
+
+NON_RATIO = [
+    AggregateFunction.COUNT,
+    AggregateFunction.COUNT_DISTINCT,
+    AggregateFunction.SUM,
+    AggregateFunction.AVG,
+    AggregateFunction.MIN,
+    AggregateFunction.MAX,
+]
+
+
+@st.composite
+def small_databases(draw) -> Database:
+    """A single-table database with two string dims and one numeric column."""
+    n_rows = draw(st.integers(min_value=0, max_value=30))
+    rows = []
+    for _ in range(n_rows):
+        rows.append(
+            (
+                draw(st.sampled_from(CATEGORIES) | st.none()),
+                draw(st.sampled_from(FLAGS)),
+                draw(
+                    st.integers(min_value=-50, max_value=50)
+                    | st.none()
+                ),
+            )
+        )
+    table = Table(
+        "facts",
+        [
+            Column("category"),
+            Column("flag"),
+            Column("amount", ColumnType.NUMERIC),
+        ],
+        rows,
+    )
+    return Database("rand", [table])
+
+
+@st.composite
+def claim_queries(draw) -> SimpleAggregateQuery:
+    """A random Simple Aggregate Query against the ``facts`` table."""
+    function = draw(st.sampled_from(NON_RATIO + [AggregateFunction.PERCENTAGE]))
+    if function in (AggregateFunction.COUNT, AggregateFunction.PERCENTAGE) and draw(
+        st.booleans()
+    ):
+        column = STAR
+    else:
+        if function.needs_numeric_column:
+            column = ColumnRef("facts", "amount")
+        else:
+            column = draw(
+                st.sampled_from(
+                    [
+                        ColumnRef("facts", "category"),
+                        ColumnRef("facts", "flag"),
+                        ColumnRef("facts", "amount"),
+                    ]
+                )
+            )
+    predicates = []
+    if draw(st.booleans()):
+        predicates.append(
+            Predicate(ColumnRef("facts", "category"), draw(st.sampled_from(CATEGORIES)))
+        )
+    if draw(st.booleans()):
+        predicates.append(
+            Predicate(ColumnRef("facts", "flag"), draw(st.sampled_from(FLAGS)))
+        )
+    return SimpleAggregateQuery(AggregateSpec(function, column), tuple(predicates))
+
+
+@st.composite
+def conditional_queries(draw) -> SimpleAggregateQuery:
+    """A random ConditionalProbability query (condition on category)."""
+    condition = Predicate(
+        ColumnRef("facts", "category"), draw(st.sampled_from(CATEGORIES))
+    )
+    event = Predicate(ColumnRef("facts", "flag"), draw(st.sampled_from(FLAGS)))
+    return SimpleAggregateQuery(
+        AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR),
+        (event,),
+        condition,
+    )

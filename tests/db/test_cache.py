@@ -1,0 +1,76 @@
+"""Unit tests for the cube-cell result cache."""
+
+from __future__ import annotations
+
+from repro.db import AggregateFunction, AggregateSpec, ColumnRef, STAR
+from repro.db.cache import ResultCache
+from repro.db.cube import ALL
+
+TABLES = frozenset({"t"})
+SPEC = AggregateSpec(AggregateFunction.COUNT, STAR)
+DIM = ColumnRef("t", "games")
+DIMS = (DIM,)
+
+
+class TestResultCache:
+    def test_miss_on_empty(self):
+        cache = ResultCache()
+        assert cache.get(TABLES, SPEC, DIMS, {DIM: frozenset({"indef"})}) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_after_put(self):
+        cache = ResultCache()
+        literals = {DIM: frozenset({"indef"})}
+        cache.put(TABLES, SPEC, DIMS, literals, {("indef",): 4, (ALL,): 9})
+        entry = cache.get(TABLES, SPEC, DIMS, literals)
+        assert entry is not None
+        assert entry.cells[("indef",)] == 4
+        assert cache.stats.hits == 1
+
+    def test_miss_on_uncovered_literal(self):
+        cache = ResultCache()
+        cache.put(
+            TABLES, SPEC, DIMS, {DIM: frozenset({"indef"})}, {("indef",): 4}
+        )
+        assert cache.get(TABLES, SPEC, DIMS, {DIM: frozenset({"16"})}) is None
+
+    def test_merge_extends_coverage(self):
+        cache = ResultCache()
+        cache.put(
+            TABLES, SPEC, DIMS, {DIM: frozenset({"indef"})}, {("indef",): 4}
+        )
+        cache.put(TABLES, SPEC, DIMS, {DIM: frozenset({"16"})}, {("16",): 3})
+        both = {DIM: frozenset({"indef", "16"})}
+        entry = cache.get(TABLES, SPEC, DIMS, both)
+        assert entry is not None
+        assert entry.cells[("indef",)] == 4
+        assert entry.cells[("16",)] == 3
+
+    def test_distinct_specs_are_separate_entries(self):
+        cache = ResultCache()
+        other_spec = AggregateSpec(
+            AggregateFunction.SUM, ColumnRef("t", "year")
+        )
+        literals = {DIM: frozenset({"indef"})}
+        cache.put(TABLES, SPEC, DIMS, literals, {("indef",): 4})
+        assert cache.get(TABLES, other_spec, DIMS, literals) is None
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(TABLES, SPEC, DIMS, {DIM: frozenset({"x"})}, {})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+
+    def test_subset_of_cached_literals_hits(self):
+        cache = ResultCache()
+        cache.put(
+            TABLES,
+            SPEC,
+            DIMS,
+            {DIM: frozenset({"a", "b", "c"})},
+            {("a",): 1, ("b",): 2, ("c",): 3},
+        )
+        entry = cache.get(TABLES, SPEC, DIMS, {DIM: frozenset({"b"})})
+        assert entry is not None

@@ -1,0 +1,80 @@
+"""Unit and property tests for the PAPER cube-cover strategy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    CubeCoverStrategy,
+    ExecutionMode,
+    QueryEngine,
+    parse_query,
+)
+
+from tests.db.strategies import claim_queries, conditional_queries, small_databases
+
+
+def queries_for(nfl_db):
+    sqls = [
+        "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'",
+        "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+        "AND Category = 'gambling'",
+        "SELECT Count(*) FROM nflsuspensions WHERE Team = 'BAL' AND Year = 2014",
+        "SELECT Percentage(*) FROM nflsuspensions WHERE Games = '16'",
+        "SELECT Sum(Year) FROM nflsuspensions",
+    ]
+    return [parse_query(sql, nfl_db) for sql in sqls]
+
+
+class TestPaperCover:
+    def test_matches_naive(self, nfl_db):
+        queries = queries_for(nfl_db)
+        naive = QueryEngine(nfl_db, ExecutionMode.NAIVE).evaluate(queries)
+        paper = QueryEngine(
+            nfl_db, cover_strategy=CubeCoverStrategy.PAPER
+        ).evaluate(queries)
+        for query in queries:
+            assert paper[query] == pytest.approx(naive[query])
+
+    def test_overlapping_cubes_cover_all_subsets(self, nfl_db):
+        """nG-sized dim sets can serve any candidate with <= m predicates."""
+        engine = QueryEngine(nfl_db, cover_strategy=CubeCoverStrategy.PAPER)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        # The scope spans 4 predicate columns -> nG = 3-sized dim sets.
+        assert engine.stats.cube_queries >= 1
+
+    def test_cache_reuse_across_calls(self, nfl_db):
+        engine = QueryEngine(nfl_db, cover_strategy=CubeCoverStrategy.PAPER)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        physical = engine.stats.physical_queries
+        engine.evaluate(queries)
+        assert engine.stats.physical_queries == physical
+
+    def test_exact_is_default(self, nfl_db):
+        assert QueryEngine(nfl_db).cover_strategy is CubeCoverStrategy.EXACT
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    database=small_databases(),
+    queries=st.lists(
+        claim_queries() | conditional_queries(), min_size=1, max_size=10
+    ),
+)
+def test_paper_cover_equivalent_to_naive(database, queries):
+    """Property: the PAPER cover answers every query like the naive engine."""
+    naive = QueryEngine(database, ExecutionMode.NAIVE).evaluate(queries)
+    paper = QueryEngine(
+        database, cover_strategy=CubeCoverStrategy.PAPER
+    ).evaluate(queries)
+    for query in set(queries):
+        expected = naive[query]
+        actual = paper[query]
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)

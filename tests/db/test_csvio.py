@@ -1,0 +1,114 @@
+"""Unit tests for CSV loading and data dictionaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import ColumnType, load_csv, load_csv_text
+from repro.db.datadict import (
+    apply_data_dictionary,
+    load_data_dictionary,
+    parse_data_dictionary,
+)
+from repro.errors import CsvFormatError, DataDictionaryError
+
+CSV = """Name,Team,Games,Year
+Ray Rice,BAL,2,2014
+Art Schlichter,BAL,indef,1983
+,,,
+Josh Gordon,CLE,16,2014
+"""
+
+
+class TestLoadCsvText:
+    def test_columns_and_rows(self):
+        table = load_csv_text(CSV, "nfl")
+        assert [c.name for c in table.columns] == ["Name", "Team", "Games", "Year"]
+        assert len(table) == 3  # blank row skipped
+
+    def test_type_inference(self):
+        table = load_csv_text(CSV, "nfl")
+        assert table.column("Year").type is ColumnType.NUMERIC
+        assert table.column("Games").type is ColumnType.STRING
+
+    def test_numeric_cells_converted(self):
+        table = load_csv_text(CSV, "nfl")
+        assert list(table.column_values("Year")) == [2014, 1983, 2014]
+
+    def test_comment_lines_skipped(self):
+        table = load_csv_text("# comment\na,b\n1,2\n", "t")
+        assert len(table) == 1
+
+    def test_short_rows_padded(self):
+        table = load_csv_text("a,b,c\n1,2\n", "t")
+        assert table.rows[0] == (1, 2, None)
+
+    def test_long_rows_truncated(self):
+        table = load_csv_text("a,b\n1,2,3\n", "t")
+        assert table.rows[0] == (1, 2)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CsvFormatError):
+            load_csv_text("", "t")
+
+    def test_blank_header_names_generated(self):
+        table = load_csv_text("a,,c\n1,2,3\n", "t")
+        assert [c.name for c in table.columns] == ["a", "column_2", "c"]
+
+    def test_currency_and_separators(self):
+        table = load_csv_text('price\n"$1,200"\n$800\n', "t")
+        assert table.column("price").type is ColumnType.NUMERIC
+        assert list(table.column_values("price")) == [1200, 800]
+
+
+class TestLoadCsvFile:
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "My Data-Set.csv"
+        path.write_text(CSV)
+        table = load_csv(path)
+        assert table.name == "my_data_set"
+        assert len(table) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CsvFormatError):
+            load_csv(tmp_path / "nope.csv")
+
+
+class TestDataDictionary:
+    def test_parse_csv_format(self):
+        mapping = parse_data_dictionary(
+            "column,description\nGames,number of games suspended\n"
+        )
+        assert mapping == {"Games": "number of games suspended"}
+
+    def test_parse_line_format(self):
+        mapping = parse_data_dictionary(
+            "Games: number of games suspended\nTeam: NFL team code\n"
+        )
+        assert mapping["Team"] == "NFL team code"
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataDictionaryError):
+            parse_data_dictionary("   ")
+
+    def test_no_entries_rejected(self):
+        with pytest.raises(DataDictionaryError):
+            parse_data_dictionary("just some text without separators")
+
+    def test_apply_to_table(self, nfl_table):
+        updated = apply_data_dictionary(
+            nfl_table, {"games": "number of games suspended"}
+        )
+        assert updated.column("Games").description == "number of games suspended"
+        # Data and other columns are unchanged.
+        assert len(updated) == len(nfl_table)
+        assert updated.column("Team").description == ""
+
+    def test_unknown_entries_ignored(self, nfl_table):
+        updated = apply_data_dictionary(nfl_table, {"nonexistent": "x"})
+        assert len(updated) == len(nfl_table)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "dict.csv"
+        path.write_text("column,description\na,alpha\n")
+        assert load_data_dictionary(path) == {"a": "alpha"}

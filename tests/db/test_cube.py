@@ -1,0 +1,176 @@
+"""Unit and property tests for the CUBE operator with InOrDefault."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db import (
+    AggregateFunction,
+    AggregateSpec,
+    ColumnRef,
+    CubeQuery,
+    STAR,
+    execute_cube,
+    execute_query,
+)
+from repro.db.cube import ALL, MAX_CUBE_DIMENSIONS
+from repro.errors import QueryError
+
+from tests.db.strategies import claim_queries, small_databases
+
+GAMES = ColumnRef("nflsuspensions", "Games")
+CATEGORY = ColumnRef("nflsuspensions", "Category")
+COUNT_STAR = AggregateSpec(AggregateFunction.COUNT, STAR)
+
+
+def nfl_cube(nfl_db, literals_games=("indef",), literals_cat=("gambling",)):
+    dims = tuple(sorted([GAMES, CATEGORY]))
+    literal_map = {
+        GAMES: frozenset(literals_games),
+        CATEGORY: frozenset(literals_cat),
+    }
+    cube = CubeQuery(
+        tables=frozenset({"nflsuspensions"}),
+        dimensions=dims,
+        literals=tuple((d, literal_map[d]) for d in dims),
+        aggregates=(COUNT_STAR,),
+    )
+    return execute_cube(nfl_db, cube)
+
+
+class TestCubeBasics:
+    def test_all_cell_is_total(self, nfl_db):
+        result = nfl_cube(nfl_db)
+        assert result.value(COUNT_STAR, {}) == 9
+
+    def test_single_dim_cell(self, nfl_db):
+        result = nfl_cube(nfl_db)
+        assert result.value(COUNT_STAR, {GAMES: "indef"}) == 4
+
+    def test_two_dim_cell(self, nfl_db):
+        result = nfl_cube(nfl_db)
+        assert (
+            result.value(COUNT_STAR, {GAMES: "indef", CATEGORY: "gambling"}) == 1
+        )
+
+    def test_uncovered_literal_rejected(self, nfl_db):
+        result = nfl_cube(nfl_db)
+        with pytest.raises(QueryError):
+            result.value(COUNT_STAR, {GAMES: "16"})
+
+    def test_empty_group_count_is_zero(self, nfl_db):
+        result = nfl_cube(nfl_db, literals_games=("indef", "99"))
+        assert result.value(COUNT_STAR, {GAMES: "99"}) == 0
+
+    def test_rows_scanned(self, nfl_db):
+        assert nfl_cube(nfl_db).rows_scanned == 9
+
+    def test_cells_for_spec(self, nfl_db):
+        cells = nfl_cube(nfl_db).cells_for(COUNT_STAR)
+        assert cells[(ALL, ALL)] == 9
+
+    def test_ratio_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            CubeQuery(
+                tables=frozenset({"t"}),
+                dimensions=(),
+                literals=(),
+                aggregates=(
+                    AggregateSpec(AggregateFunction.PERCENTAGE, STAR),
+                ),
+            )
+
+    def test_unsorted_dimensions_rejected(self, nfl_db):
+        dims = tuple(sorted([GAMES, CATEGORY], reverse=True))
+        with pytest.raises(QueryError):
+            CubeQuery(
+                tables=frozenset({"nflsuspensions"}),
+                dimensions=dims,
+                literals=tuple((d, frozenset()) for d in dims),
+                aggregates=(COUNT_STAR,),
+            )
+
+    def test_dimension_limit(self):
+        dims = tuple(
+            sorted(ColumnRef("t", f"c{i}") for i in range(MAX_CUBE_DIMENSIONS + 1))
+        )
+        with pytest.raises(QueryError):
+            CubeQuery(
+                tables=frozenset({"t"}),
+                dimensions=dims,
+                literals=tuple((d, frozenset()) for d in dims),
+                aggregates=(COUNT_STAR,),
+            )
+
+
+class TestCubeAggregates:
+    def test_multiple_aggregates_one_pass(self, star_db):
+        position = ColumnRef("players", "position")
+        salary = ColumnRef("players", "salary")
+        specs = (
+            AggregateSpec(AggregateFunction.COUNT, ColumnRef("players", "*")),
+            AggregateSpec(AggregateFunction.SUM, salary),
+            AggregateSpec(AggregateFunction.AVG, salary),
+            AggregateSpec(AggregateFunction.MIN, salary),
+            AggregateSpec(AggregateFunction.MAX, salary),
+            AggregateSpec(AggregateFunction.COUNT_DISTINCT, position),
+        )
+        cube = CubeQuery(
+            tables=frozenset({"players"}),
+            dimensions=(position,),
+            literals=((position, frozenset({"guard"})),),
+            aggregates=specs,
+        )
+        result = execute_cube(star_db, cube)
+        guard = {position: "guard"}
+        assert result.value(specs[0], guard) == 3
+        assert result.value(specs[1], guard) == pytest.approx(365.0)
+        assert result.value(specs[2], guard) == pytest.approx(365.0 / 3)
+        assert result.value(specs[3], guard) == 95.0
+        assert result.value(specs[4], guard) == 150.0
+        assert result.value(specs[5], {}) == 3
+
+    def test_sum_of_empty_group_is_null(self, star_db):
+        position = ColumnRef("players", "position")
+        salary = ColumnRef("players", "salary")
+        spec = AggregateSpec(AggregateFunction.SUM, salary)
+        cube = CubeQuery(
+            tables=frozenset({"players"}),
+            dimensions=(position,),
+            literals=((position, frozenset({"goalie"})),),
+            aggregates=(spec,),
+        )
+        result = execute_cube(star_db, cube)
+        assert result.value(spec, {position: "goalie"}) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(database=small_databases(), query=claim_queries())
+def test_cube_matches_naive_executor(database, query):
+    """Any candidate answered from a cube equals its naive evaluation."""
+    if query.aggregate.function.is_ratio:
+        # Ratios are served by the engine from counts; tested in test_engine.
+        return
+    dims = tuple(sorted(query.predicate_columns))
+    literal_map = {
+        predicate.column: frozenset({predicate.normalized_value})
+        for predicate in query.all_predicates
+    }
+    cube = CubeQuery(
+        tables=frozenset({"facts"}),
+        dimensions=dims,
+        literals=tuple((d, literal_map[d]) for d in dims),
+        aggregates=(query.aggregate,),
+    )
+    result = execute_cube(database, cube)
+    assignment = {
+        predicate.column: predicate.normalized_value
+        for predicate in query.all_predicates
+    }
+    expected = execute_query(database, query)
+    actual = result.value(query.aggregate, assignment)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)

@@ -1,0 +1,138 @@
+"""Unit and property tests for the merging/caching query engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    ExecutionMode,
+    QueryEngine,
+    parse_query,
+)
+
+from tests.db.strategies import (
+    claim_queries,
+    conditional_queries,
+    small_databases,
+)
+
+
+def queries_for(nfl_db):
+    sqls = [
+        "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'",
+        "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+        "AND Category = 'gambling'",
+        "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' "
+        "AND Category = 'substance abuse, repeated offense'",
+        "SELECT Percentage(*) FROM nflsuspensions WHERE Games = 'indef'",
+        "SELECT Sum(Year) FROM nflsuspensions WHERE Team = 'BAL'",
+        "SELECT Count(*) FROM nflsuspensions",
+        "SELECT ConditionalProbability(*) FROM nflsuspensions "
+        "WHERE Games = 'indef' AND Category = 'gambling'",
+    ]
+    return [parse_query(sql, nfl_db) for sql in sqls]
+
+
+class TestModesAgree:
+    def test_merged_equals_naive(self, nfl_db):
+        queries = queries_for(nfl_db)
+        naive = QueryEngine(nfl_db, ExecutionMode.NAIVE).evaluate(queries)
+        merged = QueryEngine(nfl_db, ExecutionMode.MERGED).evaluate(queries)
+        cached = QueryEngine(nfl_db, ExecutionMode.MERGED_CACHED).evaluate(queries)
+        for query in queries:
+            assert merged[query] == pytest.approx(naive[query])
+            assert cached[query] == pytest.approx(naive[query])
+
+    def test_merged_equals_naive_on_joins(self, star_db):
+        sqls = [
+            "SELECT Sum(salary) FROM players JOIN teams WHERE league = 'east'",
+            "SELECT Count(*) FROM players JOIN teams WHERE city = 'dallas'",
+            "SELECT Count(*) FROM players WHERE position = 'guard'",
+            "SELECT Avg(goals) FROM players",
+        ]
+        queries = [parse_query(sql, star_db) for sql in sqls]
+        naive = QueryEngine(star_db, ExecutionMode.NAIVE).evaluate(queries)
+        merged = QueryEngine(star_db, ExecutionMode.MERGED).evaluate(queries)
+        for query in queries:
+            assert merged[query] == pytest.approx(naive[query])
+
+
+class TestSharing:
+    def test_queries_merged_into_few_cubes(self, nfl_db):
+        engine = QueryEngine(nfl_db)
+        engine.evaluate(queries_for(nfl_db))
+        # 7 logical queries collapse into a handful of physical cubes.
+        assert engine.stats.queries_requested == 7
+        assert engine.stats.physical_queries < 7
+
+    def test_cache_hits_across_calls(self, nfl_db):
+        engine = QueryEngine(nfl_db, ExecutionMode.MERGED_CACHED)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        first_physical = engine.stats.physical_queries
+        engine.evaluate(queries)
+        assert engine.stats.physical_queries == first_physical
+        assert engine.stats.cache_hits > 0
+
+    def test_merged_mode_does_not_cache_across_calls(self, nfl_db):
+        engine = QueryEngine(nfl_db, ExecutionMode.MERGED)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        first_physical = engine.stats.physical_queries
+        engine.evaluate(queries)
+        assert engine.stats.physical_queries == 2 * first_physical
+
+    def test_cache_extends_for_new_literals(self, nfl_db):
+        engine = QueryEngine(nfl_db, ExecutionMode.MERGED_CACHED)
+        q1 = parse_query(
+            "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'", nfl_db
+        )
+        q2 = parse_query(
+            "SELECT Count(*) FROM nflsuspensions WHERE Games = '16'", nfl_db
+        )
+        assert engine.evaluate([q1])[q1] == 4
+        assert engine.evaluate([q2])[q2] == 4  # four 16-game suspensions
+        # Third call over both literals is fully served from cache.
+        physical = engine.stats.physical_queries
+        result = engine.evaluate([q1, q2])
+        assert engine.stats.physical_queries == physical
+        assert result[q1] == 4 and result[q2] == 4
+
+    def test_naive_counts_each_query(self, nfl_db):
+        engine = QueryEngine(nfl_db, ExecutionMode.NAIVE)
+        engine.evaluate(queries_for(nfl_db))
+        assert engine.stats.physical_queries == 7
+
+    def test_duplicates_deduplicated(self, nfl_db):
+        engine = QueryEngine(nfl_db)
+        query = queries_for(nfl_db)[0]
+        results = engine.evaluate([query, query, query])
+        assert len(results) == 1
+
+    def test_evaluate_one(self, nfl_db):
+        engine = QueryEngine(nfl_db)
+        query = queries_for(nfl_db)[0]
+        assert engine.evaluate_one(query) == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    database=small_databases(),
+    queries=st.lists(claim_queries() | conditional_queries(), min_size=1, max_size=12),
+)
+def test_engine_modes_equivalent(database, queries):
+    """Property: merged/cached engines agree with the naive engine."""
+    naive = QueryEngine(database, ExecutionMode.NAIVE).evaluate(queries)
+    cached_engine = QueryEngine(database, ExecutionMode.MERGED_CACHED)
+    # Evaluate twice so cached results are exercised too.
+    cached_engine.evaluate(queries)
+    cached = cached_engine.evaluate(queries)
+    for query in set(queries):
+        expected = naive[query]
+        actual = cached[query]
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)

@@ -1,0 +1,111 @@
+"""Unit tests for join-path discovery and relation materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Column, ColumnRef, Database, ForeignKey, Table
+from repro.db.joins import JoinGraph
+from repro.errors import JoinPathError, UnknownTableError
+
+
+class TestJoinPath:
+    def test_single_table(self, star_db):
+        graph = JoinGraph(star_db)
+        path = graph.join_path({"players"})
+        assert path.tables == ("players",)
+        assert path.edges == ()
+
+    def test_two_tables(self, star_db):
+        graph = JoinGraph(star_db)
+        path = graph.join_path({"players", "teams"})
+        assert set(path.tables) == {"players", "teams"}
+        assert len(path.edges) == 1
+
+    def test_unknown_table(self, star_db):
+        with pytest.raises(UnknownTableError):
+            JoinGraph(star_db).join_path({"nope"})
+
+    def test_disconnected_tables(self):
+        db = Database(
+            "d",
+            [Table("a", [Column("x")]), Table("b", [Column("y")])],
+        )
+        with pytest.raises(JoinPathError):
+            JoinGraph(db).join_path({"a", "b"})
+
+    def test_intermediate_table_included(self):
+        """a-b-c chain: joining {a, c} must pull in b."""
+        tables = [
+            Table("a", [Column("id"), Column("b_ref")]),
+            Table("b", [Column("id"), Column("c_ref")]),
+            Table("c", [Column("id")]),
+        ]
+        fks = [
+            ForeignKey("a", "b_ref", "b", "id"),
+            ForeignKey("b", "c_ref", "c", "id"),
+        ]
+        graph = JoinGraph(Database("d", tables, fks))
+        path = graph.join_path({"a", "c"})
+        assert set(path.tables) == {"a", "b", "c"}
+        assert len(path.edges) == 2
+
+
+class TestRelation:
+    def test_single_table_relation(self, star_db):
+        graph = JoinGraph(star_db)
+        relation = graph.relation({"players"})
+        assert len(relation) == 6
+        assert relation.has_column(ColumnRef("players", "salary"))
+
+    def test_join_relation_row_count(self, star_db):
+        graph = JoinGraph(star_db)
+        relation = graph.relation({"players", "teams"})
+        # Every player matches exactly one team.
+        assert len(relation) == 6
+        assert relation.has_column(ColumnRef("teams", "city"))
+
+    def test_join_values_aligned(self, star_db):
+        graph = JoinGraph(star_db)
+        relation = graph.relation({"players", "teams"})
+        player_team = relation.column_index(ColumnRef("players", "team"))
+        team_id = relation.column_index(ColumnRef("teams", "team_id"))
+        for row in relation.rows:
+            assert row[player_team] == row[team_id]
+
+    def test_join_drops_unmatched(self):
+        left = Table(
+            "orders", [Column("id"), Column("cust")], [("o1", "c1"), ("o2", "zz")]
+        )
+        right = Table("customers", [Column("id")], [("c1",)])
+        db = Database(
+            "d", [left, right], [ForeignKey("orders", "cust", "customers", "id")]
+        )
+        relation = JoinGraph(db).relation({"orders", "customers"})
+        assert len(relation) == 1
+
+    def test_join_null_keys_dropped(self):
+        left = Table("l", [Column("k")], [(None,), ("c1",)])
+        right = Table("r", [Column("k")], [("c1",)])
+        db = Database("d", [left, right], [ForeignKey("l", "k", "r", "k")])
+        relation = JoinGraph(db).relation({"l", "r"})
+        assert len(relation) == 1
+
+    def test_memoized(self, star_db):
+        graph = JoinGraph(star_db)
+        first = graph.relation({"players", "teams"})
+        second = graph.relation({"teams", "players"})
+        assert first is second
+        graph.clear_memo()
+        assert graph.relation({"players", "teams"}) is not first
+
+    def test_case_insensitive_join_keys(self):
+        left = Table("l", [Column("k")], [("ABC",)])
+        right = Table("r", [Column("k")], [("abc",)])
+        db = Database("d", [left, right], [ForeignKey("l", "k", "r", "k")])
+        assert len(JoinGraph(db).relation({"l", "r"})) == 1
+
+    def test_column_index_missing(self, star_db):
+        relation = JoinGraph(star_db).relation({"players"})
+        with pytest.raises(JoinPathError):
+            relation.column_index(ColumnRef("teams", "city"))

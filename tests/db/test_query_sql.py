@@ -1,0 +1,197 @@
+"""Unit tests for the query AST, SQL rendering, and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    AggregateFunction,
+    AggregateSpec,
+    ColumnRef,
+    Predicate,
+    STAR,
+    SimpleAggregateQuery,
+    parse_query,
+    render_sql,
+)
+from repro.db.sql import describe_query
+from repro.errors import QueryError, SqlParseError
+
+
+def count_star(*predicates):
+    return SimpleAggregateQuery(
+        AggregateSpec(AggregateFunction.COUNT, STAR), tuple(predicates)
+    )
+
+
+GAMES = ColumnRef("nflsuspensions", "Games")
+CATEGORY = ColumnRef("nflsuspensions", "Category")
+YEAR = ColumnRef("nflsuspensions", "Year")
+
+
+class TestQueryModel:
+    def test_predicates_canonicalized(self):
+        q1 = count_star(Predicate(GAMES, "indef"), Predicate(CATEGORY, "gambling"))
+        q2 = count_star(Predicate(CATEGORY, "gambling"), Predicate(GAMES, "indef"))
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(QueryError):
+            count_star(Predicate(GAMES, "indef"), Predicate(GAMES, "16"))
+
+    def test_star_needs_count_family(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(AggregateFunction.SUM, STAR)
+
+    def test_conditional_probability_requires_condition(self):
+        with pytest.raises(QueryError):
+            SimpleAggregateQuery(
+                AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR)
+            )
+
+    def test_condition_only_for_conditional(self):
+        with pytest.raises(QueryError):
+            SimpleAggregateQuery(
+                AggregateSpec(AggregateFunction.COUNT, STAR),
+                (),
+                Predicate(GAMES, "indef"),
+            )
+
+    def test_condition_column_disjoint_from_events(self):
+        with pytest.raises(QueryError):
+            SimpleAggregateQuery(
+                AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR),
+                (Predicate(GAMES, "indef"),),
+                Predicate(GAMES, "16"),
+            )
+
+    def test_all_predicates_condition_first(self):
+        query = SimpleAggregateQuery(
+            AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR),
+            (Predicate(CATEGORY, "gambling"),),
+            Predicate(GAMES, "indef"),
+        )
+        assert query.all_predicates[0] == Predicate(GAMES, "indef")
+
+    def test_referenced_tables(self):
+        query = count_star(Predicate(GAMES, "indef"))
+        assert query.referenced_tables() == frozenset({"nflsuspensions"})
+
+    def test_predicate_rejects_star_and_null(self):
+        with pytest.raises(QueryError):
+            Predicate(STAR, "x")
+        with pytest.raises(QueryError):
+            Predicate(GAMES, None)
+
+
+class TestRenderParse:
+    def test_render_paper_style(self):
+        query = count_star(Predicate(GAMES, "indef"))
+        assert (
+            render_sql(query)
+            == "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'"
+        )
+
+    def test_roundtrip_simple(self, nfl_db):
+        sql = "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'"
+        query = parse_query(sql, nfl_db)
+        assert parse_query(render_sql(query), nfl_db) == query
+
+    def test_roundtrip_conditional(self, nfl_db):
+        sql = (
+            "SELECT ConditionalProbability(*) FROM nflsuspensions "
+            "WHERE Games = 'indef' AND Category = 'gambling'"
+        )
+        query = parse_query(sql, nfl_db)
+        assert query.condition is not None
+        assert query.condition.column.column == "Games"
+        assert parse_query(render_sql(query), nfl_db) == query
+
+    def test_parse_numeric_value(self, nfl_db):
+        query = parse_query(
+            "SELECT Count(*) FROM nflsuspensions WHERE Year = 2014", nfl_db
+        )
+        assert query.predicates[0].value == 2014
+
+    def test_parse_quoted_value_with_escape(self, nfl_db):
+        query = parse_query(
+            "SELECT Count(*) FROM nflsuspensions WHERE Category = 'i''m self-taught'",
+            nfl_db,
+        )
+        assert query.predicates[0].value == "i'm self-taught"
+
+    def test_parse_value_containing_and(self, nfl_db):
+        query = parse_query(
+            "SELECT Count(*) FROM nflsuspensions "
+            "WHERE Category = 'conduct and behavior' AND Games = 'indef'",
+            nfl_db,
+        )
+        assert len(query.predicates) == 2
+        values = {p.value for p in query.predicates}
+        assert "conduct and behavior" in values
+
+    def test_parse_aggregate_column(self, nfl_db):
+        query = parse_query("SELECT Sum(Year) FROM nflsuspensions", nfl_db)
+        assert query.aggregate.column == YEAR
+
+    def test_parse_average_alias(self, nfl_db):
+        query = parse_query("SELECT Average(Year) FROM nflsuspensions", nfl_db)
+        assert query.aggregate.function is AggregateFunction.AVG
+
+    def test_single_table_star_is_tableless(self, nfl_db):
+        query = parse_query("SELECT Count(*) FROM nflsuspensions", nfl_db)
+        assert query.aggregate.column == STAR
+
+    def test_multi_table_star_is_qualified(self, star_db):
+        query = parse_query("SELECT Count(*) FROM players", star_db)
+        assert query.aggregate.column == ColumnRef("players", "*")
+
+    def test_join_query_parses(self, star_db):
+        query = parse_query(
+            "SELECT Sum(salary) FROM players JOIN teams WHERE city = 'boston'",
+            star_db,
+        )
+        assert query.referenced_tables() == frozenset({"players", "teams"})
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM t",
+            "SELECT Median(x) FROM nflsuspensions",
+            "SELECT Count(*) FROM missing_table",
+            "SELECT Count(*) FROM nflsuspensions WHERE Games > 3",
+            "SELECT Count(*) FROM nflsuspensions WHERE Nope = 'x'",
+            "DELETE FROM nflsuspensions",
+        ],
+    )
+    def test_parse_errors(self, sql, nfl_db):
+        with pytest.raises(SqlParseError):
+            parse_query(sql, nfl_db)
+
+    def test_conditional_without_predicates_rejected(self, nfl_db):
+        with pytest.raises(SqlParseError):
+            parse_query(
+                "SELECT ConditionalProbability(*) FROM nflsuspensions", nfl_db
+            )
+
+
+class TestDescribe:
+    def test_count_star(self):
+        query = count_star(Predicate(GAMES, "indef"))
+        assert describe_query(query) == "the number of rows where 'Games' is 'indef'"
+
+    def test_conditional(self):
+        query = SimpleAggregateQuery(
+            AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR),
+            (Predicate(CATEGORY, "gambling"),),
+            Predicate(GAMES, "indef"),
+        )
+        text = describe_query(query)
+        assert "given that 'Games' is 'indef'" in text
+
+    def test_average_column(self):
+        query = SimpleAggregateQuery(
+            AggregateSpec(AggregateFunction.AVG, YEAR)
+        )
+        assert describe_query(query) == "the average of 'Year' values"

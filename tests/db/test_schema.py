@@ -1,0 +1,143 @@
+"""Unit tests for schema objects and acyclicity validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, ForeignKey, Table
+from repro.db.schema import infer_column_type
+from repro.errors import (
+    CyclicSchemaError,
+    SchemaError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+def make_table(name="t", cols=("a", "b")):
+    return Table(name, [Column(c) for c in cols])
+
+
+class TestColumn:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_default_type_is_string(self):
+        assert Column("a").type is ColumnType.STRING
+
+
+class TestTable:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_table(cols=("a", "a"))
+
+    def test_row_width_checked(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.append((1,))
+
+    def test_unknown_column(self):
+        table = make_table()
+        with pytest.raises(UnknownColumnError):
+            table.column("zzz")
+
+    def test_unknown_primary_key(self):
+        with pytest.raises(UnknownColumnError):
+            Table("t", [Column("a")], primary_key="b")
+
+    def test_column_values(self):
+        table = Table("t", [Column("a"), Column("b")], [(1, 2), (3, 4)])
+        assert list(table.column_values("b")) == [2, 4]
+
+    def test_numeric_columns(self):
+        table = Table(
+            "t", [Column("a"), Column("n", ColumnType.NUMERIC)]
+        )
+        assert [c.name for c in table.numeric_columns()] == ["n"]
+
+    def test_distinct_values_skips_missing_and_dedups_case(self):
+        table = Table(
+            "t",
+            [Column("a")],
+            [("X",), ("x",), (None,), ("",), ("y",)],
+        )
+        assert table.distinct_values("a") == ["X", "y"]
+
+    def test_distinct_values_limit(self):
+        table = Table("t", [Column("a")], [(str(i),) for i in range(10)])
+        assert len(table.distinct_values("a", limit=3)) == 3
+
+
+class TestDatabase:
+    def test_duplicate_table_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database("d", [make_table("t"), make_table("t")])
+
+    def test_unknown_table(self, nfl_db):
+        with pytest.raises(UnknownTableError):
+            nfl_db.table("missing")
+
+    def test_foreign_key_validated(self):
+        with pytest.raises(UnknownColumnError):
+            Database(
+                "d",
+                [make_table("t1"), make_table("t2")],
+                [ForeignKey("t1", "zzz", "t2", "a")],
+            )
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(CyclicSchemaError):
+            Database(
+                "d",
+                [make_table("t1")],
+                [ForeignKey("t1", "a", "t1", "b")],
+            )
+
+    def test_cycle_rejected(self):
+        tables = [make_table(n) for n in ("t1", "t2", "t3")]
+        fks = [
+            ForeignKey("t1", "a", "t2", "a"),
+            ForeignKey("t2", "b", "t3", "a"),
+            ForeignKey("t3", "b", "t1", "b"),
+        ]
+        with pytest.raises(CyclicSchemaError):
+            Database("d", tables, fks)
+
+    def test_parallel_edges_rejected(self):
+        tables = [make_table("t1"), make_table("t2")]
+        fks = [
+            ForeignKey("t1", "a", "t2", "a"),
+            ForeignKey("t1", "b", "t2", "b"),
+        ]
+        with pytest.raises(CyclicSchemaError):
+            Database("d", tables, fks)
+
+    def test_acyclic_accepted(self, star_db):
+        assert {t.name for t in star_db.tables} == {"players", "teams"}
+
+    def test_single_table(self, nfl_db, star_db):
+        assert nfl_db.single_table().name == "nflsuspensions"
+        with pytest.raises(SchemaError):
+            star_db.single_table()
+
+    def test_total_rows(self, star_db):
+        assert star_db.total_rows() == 9
+
+
+class TestInferColumnType:
+    def test_all_numeric(self):
+        assert infer_column_type(["1", "2", 3.5]) is ColumnType.NUMERIC
+
+    def test_mostly_numeric_passes_threshold(self):
+        values = ["1"] * 19 + ["n/a"]
+        assert infer_column_type(values) is ColumnType.NUMERIC
+
+    def test_mixed_fails_threshold(self):
+        assert infer_column_type(["1", "x", "y"]) is ColumnType.STRING
+
+    def test_empty_defaults_to_string(self):
+        assert infer_column_type([]) is ColumnType.STRING
+
+    def test_missing_ignored(self):
+        assert infer_column_type([None, "", "7"]) is ColumnType.NUMERIC

@@ -1,0 +1,122 @@
+"""Unit tests for fragment extraction and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import AggregateFunction, ColumnRef, STAR
+from repro.fragments import ExtractionConfig, extract_fragments
+
+
+@pytest.fixture()
+def catalog(nfl_db):
+    return extract_fragments(nfl_db)
+
+
+class TestFunctions:
+    def test_all_eight_functions(self, catalog):
+        assert len(catalog.functions) == 8
+        functions = {fragment.function for fragment in catalog.functions}
+        assert AggregateFunction.CONDITIONAL_PROBABILITY in functions
+
+    def test_function_keywords_fixed(self, catalog):
+        count = next(
+            f for f in catalog.functions if f.function is AggregateFunction.COUNT
+        )
+        assert "number" in count.keywords
+
+
+class TestColumns:
+    def test_star_fragment_single_table(self, catalog):
+        stars = [f for f in catalog.columns if f.is_star]
+        assert len(stars) == 1
+        assert stars[0].column == STAR
+
+    def test_star_fragment_multi_table(self, star_db):
+        catalog = extract_fragments(star_db)
+        stars = {f.column for f in catalog.columns if f.is_star}
+        assert stars == {ColumnRef("players", "*"), ColumnRef("teams", "*")}
+
+    def test_numeric_columns_only(self, catalog):
+        names = {f.column.column for f in catalog.columns if not f.is_star}
+        assert names == {"Year"}
+
+    def test_column_keywords_include_table_words(self, catalog):
+        year = next(f for f in catalog.columns if f.column.column == "Year")
+        assert "year" in year.keywords
+        assert "suspensions" in year.keywords  # from decomposed table name
+
+    def test_column_keywords_include_synonyms(self, catalog):
+        year = next(f for f in catalog.columns if f.column.column == "Year")
+        assert "season" in year.keywords  # synonym of 'year'
+
+
+class TestPredicates:
+    def test_predicates_for_string_values(self, catalog):
+        values = {
+            f.predicate.value
+            for f in catalog.predicates
+            if f.column.column == "Games"
+        }
+        assert {"indef", "16", "2"} <= values
+
+    def test_predicate_keywords_value_first(self, catalog):
+        gambling = next(
+            f for f in catalog.predicates if f.predicate.value == "gambling"
+        )
+        assert gambling.keywords[0] == "gambling"
+        assert "category" in gambling.keywords
+
+    def test_predicate_keywords_synonyms(self, catalog):
+        gambling = next(
+            f for f in catalog.predicates if f.predicate.value == "gambling"
+        )
+        assert "betting" in gambling.keywords
+
+    def test_distinct_cap(self, nfl_db):
+        config = ExtractionConfig(max_distinct_per_column=2)
+        catalog = extract_fragments(nfl_db, config)
+        # Name has 9 distinct values -> dropped entirely under cap 2.
+        assert not any(f.column.column == "Name" for f in catalog.predicates)
+
+    def test_numeric_predicates_toggle(self, nfl_db):
+        with_numeric = extract_fragments(nfl_db)
+        without = extract_fragments(
+            nfl_db, ExtractionConfig(include_numeric_predicates=False)
+        )
+        year_with = [
+            f for f in with_numeric.predicates if f.column.column == "Year"
+        ]
+        year_without = [
+            f for f in without.predicates if f.column.column == "Year"
+        ]
+        assert year_with and not year_without
+
+
+class TestDataDictionary:
+    def test_description_words_added(self, nfl_db):
+        catalog = extract_fragments(
+            nfl_db,
+            data_dictionary={"Games": "length of the suspension in matches"},
+        )
+        games_predicates = [
+            f for f in catalog.predicates if f.column.column == "Games"
+        ]
+        assert all("matches" in f.keywords for f in games_predicates)
+
+
+class TestCandidateSpace:
+    def test_size_positive_and_large(self, catalog):
+        size = catalog.candidate_space_size()
+        # 8 functions x 2 columns x many predicate combinations.
+        assert size > 1000
+
+    def test_size_grows_with_predicate_budget(self, catalog):
+        assert catalog.candidate_space_size(2) < catalog.candidate_space_size(3)
+
+    def test_catalog_len(self, catalog):
+        assert len(catalog) == (
+            len(catalog.functions)
+            + len(catalog.columns)
+            + len(catalog.predicates)
+        )

@@ -1,0 +1,121 @@
+"""Unit and integration tests for metrics and the corpus runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
+from repro.harness import aggregate_metrics, run_case, run_corpus
+from repro.harness.ablations import (
+    hits_ladder,
+    keyword_context_ladder,
+    model_ladder,
+    pt_ladder,
+)
+from repro.harness.reporting import format_series, format_table, percent
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(n_articles=6, seed=77))
+
+
+@pytest.fixture(scope="module")
+def run(corpus):
+    return run_corpus(corpus)
+
+
+class TestRunCase:
+    def test_builtin_case_resolves(self):
+        result = run_case(nfl_suspensions_case())
+        assert len(result.evaluations) == 3
+        # The fresh case is fully correct; nothing should be flagged.
+        assert all(not e.truly_erroneous for e in result.evaluations)
+
+    def test_stale_builtin_flagged(self):
+        result = run_case(nfl_suspensions_case(stale=True))
+        stale_eval = result.evaluations[0]
+        assert stale_eval.truly_erroneous
+        assert stale_eval.flagged
+
+    def test_truth_rank_populated(self):
+        result = run_case(nfl_suspensions_case())
+        ranks = [e.truth_rank for e in result.evaluations]
+        assert all(rank is not None for rank in ranks)
+        assert ranks[0] == 1  # 'four lifetime bans' maps exactly
+
+
+class TestRunCorpus:
+    def test_metrics_populated(self, run, corpus):
+        metrics = run.metrics
+        assert metrics.n_claims == corpus.total_claims
+        assert metrics.n_erroneous == corpus.erroneous_claims
+        assert 0 <= metrics.recall <= 1
+        assert 0 <= metrics.precision <= 1
+
+    def test_coverage_monotone(self, run):
+        metrics = run.metrics
+        assert metrics.top_k_coverage(1) <= metrics.top_k_coverage(5)
+        assert metrics.top_k_coverage(5) <= metrics.top_k_coverage(20)
+
+    def test_limit(self, corpus):
+        partial = run_corpus(corpus, limit=2)
+        assert len(partial.results) == 2
+
+    def test_engine_stats_accumulated(self, run):
+        assert run.engine_stats.queries_requested > 0
+        assert run.engine_stats.physical_queries > 0
+
+    def test_f1_consistent(self, run):
+        metrics = run.metrics
+        p, r = metrics.precision, metrics.recall
+        expected = 2 * p * r / (p + r) if p + r else 0.0
+        assert metrics.f1 == pytest.approx(expected)
+
+    def test_aggregate_of_parts_matches_whole(self, run):
+        pooled = aggregate_metrics(run.results)
+        assert pooled.n_claims == run.metrics.n_claims
+        assert pooled.true_positives == run.metrics.true_positives
+
+
+class TestAblationLadders:
+    def test_ladder_shapes(self):
+        assert len(keyword_context_ladder()) == 5
+        assert len(model_ladder()) == 3
+        assert len(hits_ladder()) == 4
+        assert len(pt_ladder()) == 5
+
+    def test_model_ladder_configs_differ(self):
+        ladder = model_ladder()
+        assert not ladder[0][1].em.use_evaluations
+        assert ladder[1][1].em.use_evaluations
+        assert not ladder[1][1].em.use_priors
+        assert ladder[2][1].em.use_priors
+
+    def test_model_ablation_improves_coverage(self, corpus):
+        """Integration: evaluation results must lift top-1 coverage
+        (the paper's Table 10 ladder, on a small corpus)."""
+        scores_only = run_corpus(corpus, model_ladder()[0][1], limit=4)
+        full = run_corpus(corpus, model_ladder()[2][1], limit=4)
+        assert (
+            full.metrics.top_k_coverage(1)
+            > scores_only.metrics.top_k_coverage(1)
+        )
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table("T", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "=== T ===" in table
+        assert "2.5" in table
+
+    def test_format_series(self):
+        text = format_series("S", {"line": [(1, 2.0)]})
+        assert "(1, 2.0)" in text
+
+    def test_percent(self):
+        assert percent(0.708) == "70.8%"
+
+    def test_ragged_rows_padded(self):
+        table = format_table("T", ["a", "b", "c"], [[1]])
+        assert table.count("\n") == 3

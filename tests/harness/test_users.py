@@ -1,0 +1,111 @@
+"""Unit tests for the user-study simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.harness import run_corpus, run_crowd_study, run_user_study
+from repro.harness.users import UserSimulator, default_users
+
+
+@pytest.fixture(scope="module")
+def results():
+    corpus = generate_corpus(CorpusConfig(n_articles=8, seed=13))
+    return run_corpus(corpus).results
+
+
+@pytest.fixture(scope="module")
+def study(results):
+    return run_user_study(results)
+
+
+class TestSessions:
+    def test_aggchecker_session_timeline_monotone(self, results):
+        simulator = UserSimulator(1)
+        user = default_users(1)[0]
+        session = simulator.aggchecker_session(results[0], user, 1200.0)
+        times = [e.timestamp for e in session.events]
+        assert times == sorted(times)
+        assert len(session.events) == len(results[0].evaluations)
+
+    def test_sql_sessions_slower(self, results):
+        simulator = UserSimulator(2)
+        user = default_users(1)[0]
+        agg = simulator.aggchecker_session(results[0], user, 10**6)
+        sql = simulator.sql_session(results[0], user, 10**6)
+        assert sql.events[-1].timestamp > agg.events[-1].timestamp
+
+    def test_time_limit_caps_verified(self, results):
+        simulator = UserSimulator(3)
+        user = default_users(1)[0]
+        session = simulator.sql_session(results[0], user, 30.0)
+        assert session.total_verified <= 1
+
+    def test_careless_workers_verify_less(self, results):
+        careful = UserSimulator(4).aggchecker_session(
+            results[0], default_users(1)[0], 10**6, care=1.0
+        )
+        careless = UserSimulator(4).aggchecker_session(
+            results[0], default_users(1)[0], 10**6, care=0.0
+        )
+        assert careless.total_verified <= careful.total_verified
+
+    def test_deterministic_given_seed(self, results):
+        user = default_users(1)[0]
+        first = UserSimulator(9).aggchecker_session(results[0], user, 1200.0)
+        second = UserSimulator(9).aggchecker_session(results[0], user, 1200.0)
+        assert [e.timestamp for e in first.events] == [
+            e.timestamp for e in second.events
+        ]
+
+
+class TestStudyOutcome:
+    def test_six_articles_eight_users(self, study):
+        assert len(study.sessions) == 8 * 6
+        assert {s.tool for s in study.sessions} == {"aggchecker", "sql"}
+
+    def test_feature_usage_sums_to_100(self, study):
+        usage = study.feature_usage()
+        assert sum(usage.values()) == pytest.approx(100.0)
+
+    def test_aggchecker_beats_sql(self, study):
+        agg = study.recall_precision("aggchecker")
+        sql = study.recall_precision("sql")
+        assert agg[2] >= sql[2]
+
+    def test_speedup_positive(self, study):
+        assert study.average_speedup() > 1.0
+
+    def test_survey_prefers_aggchecker(self, study):
+        survey = study.survey()
+        overall = survey["Overall"]
+        assert overall["AC+"] + overall["AC++"] >= overall["SQL+"] + overall["SQL++"]
+
+    def test_throughput_views(self, study):
+        by_user = study.throughput_by_user()
+        assert len(by_user) == 8
+        by_article = study.throughput_by_article()
+        assert len(by_article) == 6
+
+
+class TestCrowdStudy:
+    def test_participant_counts(self, results):
+        outcome = run_crowd_study(results)
+        agg = outcome.by_tool("aggchecker")
+        sheet = outcome.by_tool("spreadsheet")
+        assert len(agg) == 19 and len(sheet) == 13
+
+    def test_paragraph_scope_easier_for_sheets(self, results):
+        document = run_crowd_study(results, scope="document")
+        paragraph = run_crowd_study(results, scope="paragraph")
+        doc_r = document.recall_precision("spreadsheet")[0]
+        par_r = paragraph.recall_precision("spreadsheet")[0]
+        assert par_r >= doc_r
+
+    def test_aggchecker_dominates(self, results):
+        outcome = run_crowd_study(results)
+        assert (
+            outcome.recall_precision("aggchecker")[2]
+            >= outcome.recall_precision("spreadsheet")[2]
+        )

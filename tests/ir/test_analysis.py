@@ -1,0 +1,66 @@
+"""Unit tests for the analysis pipeline."""
+
+from __future__ import annotations
+
+from repro.ir.analysis import Analyzer, STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("13% of 392 claims") == ["13", "of", "392", "claims"]
+
+    def test_contractions(self):
+        assert tokenize("i'm self-taught") == ["i'm", "self", "taught"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_identifier_like(self):
+        assert tokenize("substance abuse, repeated offense") == [
+            "substance",
+            "abuse",
+            "repeated",
+            "offense",
+        ]
+
+
+class TestAnalyzer:
+    def test_stopwords_removed(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("the number of games") == ["number", "game"]
+
+    def test_stemming_applied(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("suspensions") == ["suspens"]
+
+    def test_stemming_disabled(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("suspensions") == ["suspensions"]
+
+    def test_keep_stopwords(self):
+        analyzer = Analyzer(keep_stopwords=True, stem=False)
+        assert "the" in analyzer.analyze("the games")
+
+    def test_term_single(self):
+        analyzer = Analyzer()
+        assert analyzer.term("The") is None
+        assert analyzer.term("Games") == "game"
+
+    def test_analyze_tokens(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_tokens(["games", "the", "banned"]) == [
+            "game",
+            "ban",
+        ]
+
+    def test_cache_consistency(self):
+        analyzer = Analyzer()
+        first = analyzer.term("suspensions")
+        second = analyzer.term("suspensions")
+        assert first == second == "suspens"
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)

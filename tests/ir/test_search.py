@@ -1,0 +1,111 @@
+"""Unit and property tests for indexing and weighted TF-IDF search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Analyzer, InvertedIndex, search
+
+
+@pytest.fixture()
+def fragment_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add("pred:games=indef", text="games indef lifetime ban")
+    index.add("pred:category=gambling", text="category gambling bet")
+    index.add(
+        "pred:category=substance",
+        text="category substance abuse repeated offense drug",
+    )
+    index.add("agg:count", text="count number total how many")
+    index.add("agg:sum", text="sum total amount")
+    return index
+
+
+class TestIndex:
+    def test_add_and_payload(self, fragment_index):
+        assert len(fragment_index) == 5
+        assert fragment_index.payload(0) == "pred:games=indef"
+
+    def test_document_frequency_uses_analyzed_terms(self, fragment_index):
+        # 'total' appears in two documents.
+        term = fragment_index.analyzer.term("total")
+        assert fragment_index.document_frequency(term) == 2
+
+    def test_idf_decreases_with_frequency(self, fragment_index):
+        analyzer = fragment_index.analyzer
+        rare = fragment_index.idf(analyzer.term("gambling"))
+        common = fragment_index.idf(analyzer.term("total"))
+        assert rare > common
+
+    def test_norm_shorter_documents_higher(self, fragment_index):
+        assert fragment_index.norm(4) > fragment_index.norm(2)
+
+    def test_tokens_and_text_combined(self):
+        index = InvertedIndex()
+        index.add("x", text="alpha", tokens=["beta"])
+        hits = search(index, {"beta": 1.0})
+        assert hits and hits[0].payload == "x"
+
+
+class TestSearch:
+    def test_exact_keyword_ranks_first(self, fragment_index):
+        hits = search(fragment_index, {"gambling": 1.0})
+        assert hits[0].payload == "pred:category=gambling"
+
+    def test_morphology_matches(self, fragment_index):
+        # 'bans' stems to 'ban' which matches the 'lifetime ban' fragment.
+        hits = search(fragment_index, {"bans": 1.0})
+        assert hits[0].payload == "pred:games=indef"
+
+    def test_weights_change_ranking(self, fragment_index):
+        low = search(fragment_index, {"gambling": 0.1, "substance": 1.0})
+        high = search(fragment_index, {"gambling": 1.0, "substance": 0.1})
+        assert low[0].payload == "pred:category=substance"
+        assert high[0].payload == "pred:category=gambling"
+
+    def test_top_k_limits(self, fragment_index):
+        hits = search(fragment_index, {"category": 1.0, "total": 1.0}, top_k=2)
+        assert len(hits) == 2
+
+    def test_stopwords_ignored(self, fragment_index):
+        assert search(fragment_index, {"the": 1.0}) == []
+
+    def test_zero_weights_ignored(self, fragment_index):
+        assert search(fragment_index, {"gambling": 0.0}) == []
+
+    def test_empty_query(self, fragment_index):
+        assert search(fragment_index, {}) == []
+
+    def test_scores_sorted_descending(self, fragment_index):
+        hits = search(fragment_index, {"category": 1.0, "gambling": 1.0})
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weight=st.floats(min_value=0.01, max_value=100.0),
+    scale=st.floats(min_value=1.5, max_value=10.0),
+)
+def test_score_scales_linearly_with_term_weight(weight, scale):
+    """Property: scaling one term's weight scales its hits' scores."""
+    index = InvertedIndex()
+    index.add("a", text="gambling bet")
+    index.add("b", text="substance abuse")
+    base = search(index, {"gambling": weight})
+    scaled = search(index, {"gambling": weight * scale})
+    assert base[0].payload == scaled[0].payload == "a"
+    assert scaled[0].score == pytest.approx(base[0].score * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["red", "green", "blue", "cyan"]), min_size=1, max_size=6))
+def test_matching_document_always_retrieved(words):
+    """Property: a document containing a queried term is always a hit."""
+    index = InvertedIndex(Analyzer(stem=False))
+    index.add("target", tokens=words)
+    index.add("noise", tokens=["yellow", "magenta"])
+    hits = search(index, {words[0]: 1.0})
+    assert any(hit.payload == "target" for hit in hits)

@@ -1,0 +1,105 @@
+"""Unit tests for the Porter stemmer against reference examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.stemmer import porter_stem
+
+# Reference pairs from Porter's original paper and the canonical test set.
+REFERENCE = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("digitizer", "digit"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE)
+def test_reference_pairs(word, expected):
+    assert porter_stem(word) == expected
+
+
+def test_short_words_unchanged():
+    assert porter_stem("a") == "a"
+    assert porter_stem("be") == "be"
+
+
+def test_domain_words_collide_correctly():
+    # Claim text and column names must stem to the same term.
+    assert porter_stem("suspensions") == porter_stem("suspension")
+    assert porter_stem("banned") == porter_stem("ban")
+    assert porter_stem("respondents") == porter_stem("respondent")
+    assert porter_stem("salaries") == porter_stem("salari")
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0, max_size=15))
+def test_stemmer_total_and_idempotent_on_output_length(word):
+    stem = porter_stem(word)
+    assert isinstance(stem, str)
+    assert len(stem) <= len(word) + 1  # step 1b can append 'e'

@@ -1,0 +1,127 @@
+"""Unit tests for claim keyword-context extraction (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import ContextConfig, claim_keywords
+from repro.text import Document, detect_claims, parse_html
+
+PAPER_HTML = """
+<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"""
+
+
+@pytest.fixture()
+def paper_claims():
+    return detect_claims(parse_html(PAPER_HTML))
+
+
+class TestSentenceWeights:
+    def test_keywords_weighted_by_tree_distance(self, paper_claims):
+        # Claim 'one': 'gambling' is one edge away -> weight 1.0.
+        claim_one = next(c for c in paper_claims if c.claimed_value == 1)
+        weights = claim_keywords(claim_one, ContextConfig.sentence_only())
+        assert weights["gambling"] == pytest.approx(1.0)
+
+    def test_farther_keywords_weigh_less(self, paper_claims):
+        # Claim 'three': 'gambling' is two edges away -> weight 0.5.
+        claim_three = next(c for c in paper_claims if c.claimed_value == 3)
+        weights = claim_keywords(claim_three, ContextConfig.sentence_only())
+        assert weights["gambling"] == pytest.approx(0.5)
+        assert weights["abuse"] == pytest.approx(1.0)
+
+    def test_disambiguation_between_claims(self, paper_claims):
+        """The keyword 'gambling' must be more relevant to claim 'one' than
+        to claim 'three' (paper Example 3)."""
+        one = next(c for c in paper_claims if c.claimed_value == 1)
+        three = next(c for c in paper_claims if c.claimed_value == 3)
+        config = ContextConfig.sentence_only()
+        assert (
+            claim_keywords(one, config)["gambling"]
+            > claim_keywords(three, config)["gambling"]
+        )
+
+    def test_claim_tokens_excluded(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 1)
+        weights = claim_keywords(claim, ContextConfig.sentence_only())
+        assert "one" not in weights
+
+    def test_stopwords_excluded(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 1)
+        weights = claim_keywords(claim, ContextConfig.sentence_only())
+        assert "were" not in weights and "for" not in weights
+
+
+class TestContextSources:
+    def test_previous_sentence_added(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 1)
+        config = ContextConfig(
+            use_previous_sentence=True,
+            use_paragraph_start=False,
+            use_synonyms=False,
+            use_headlines=False,
+        )
+        weights = claim_keywords(claim, config)
+        # 'lifetime' appears only in the previous sentence.
+        assert "lifetime" in weights
+        assert weights["lifetime"] == pytest.approx(0.4 * min(
+            w for k, w in claim_keywords(
+                claim, ContextConfig.sentence_only()
+            ).items()
+        ))
+
+    def test_headline_added_with_07_weight(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 4)
+        config = ContextConfig(
+            use_previous_sentence=False,
+            use_paragraph_start=False,
+            use_synonyms=False,
+            use_headlines=True,
+        )
+        weights = claim_keywords(claim, config)
+        assert "punishing" in weights  # from the document title
+        sentence_only = claim_keywords(claim, ContextConfig.sentence_only())
+        m = min(sentence_only.values())
+        assert weights["punishing"] == pytest.approx(0.7 * m)
+
+    def test_synonyms_added(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 4)
+        config = ContextConfig(
+            use_previous_sentence=False,
+            use_paragraph_start=False,
+            use_synonyms=True,
+            use_headlines=False,
+        )
+        weights = claim_keywords(claim, config)
+        # 'bans' -> synonym 'suspension(s)' via the lexicon ('ban' group).
+        assert any(word in weights for word in ("suspension", "penalty"))
+
+    def test_paragraph_start_added(self):
+        html = (
+            "<p>The survey covered Python developers. Many answered. "
+            "About 40 said yes.</p>"
+        )
+        claims = detect_claims(parse_html(html))
+        config = ContextConfig(
+            use_previous_sentence=False,
+            use_paragraph_start=True,
+            use_synonyms=False,
+            use_headlines=False,
+        )
+        weights = claim_keywords(claims[0], config)
+        assert "survey" in weights and "python" in weights
+
+    def test_sentence_only_excludes_everything_else(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 4)
+        weights = claim_keywords(claim, ContextConfig.sentence_only())
+        assert "punishing" not in weights
+
+    def test_context_widens_keyword_set(self, paper_claims):
+        claim = next(c for c in paper_claims if c.claimed_value == 1)
+        narrow = claim_keywords(claim, ContextConfig.sentence_only())
+        wide = claim_keywords(claim, ContextConfig())
+        assert set(narrow) < set(wide)

@@ -1,0 +1,113 @@
+"""Unit tests for the heuristic dependency tree (TreeDistance)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.dependency import build_dependency_tree
+from repro.nlp.tokens import tokenize_with_punct
+
+
+def tree_for(text):
+    tokens = tokenize_with_punct(text)
+    return tokens, build_dependency_tree(tokens)
+
+
+def index_of(tokens, word):
+    return next(t.index for t in tokens if t.lower == word)
+
+
+class TestPaperExample:
+    """Paper Example 3: 'three were for repeated substance abuse, one was
+    for gambling' with distances three->gambling = 2, one->gambling = 1."""
+
+    SENTENCE = "three were for repeated substance abuse, one was for gambling"
+
+    def test_one_to_gambling_is_one(self):
+        tokens, tree = tree_for(self.SENTENCE)
+        assert tree.distance(index_of(tokens, "one"), index_of(tokens, "gambling")) == 1
+
+    def test_three_to_gambling_is_two(self):
+        tokens, tree = tree_for(self.SENTENCE)
+        assert (
+            tree.distance(index_of(tokens, "three"), index_of(tokens, "gambling"))
+            == 2
+        )
+
+    def test_three_to_abuse_is_one(self):
+        tokens, tree = tree_for(self.SENTENCE)
+        assert tree.distance(index_of(tokens, "three"), index_of(tokens, "abuse")) == 1
+
+    def test_closer_keyword_wins(self):
+        tokens, tree = tree_for(self.SENTENCE)
+        one = index_of(tokens, "one")
+        three = index_of(tokens, "three")
+        gambling = index_of(tokens, "gambling")
+        assert tree.distance(one, gambling) < tree.distance(three, gambling)
+
+
+class TestTreeProperties:
+    def test_distance_zero_to_self(self):
+        tokens, tree = tree_for("four lifetime bans in the database")
+        assert tree.distance(0, 0) == 0
+
+    def test_same_chunk_non_heads(self):
+        tokens, tree = tree_for("four previous lifetime bans existed")
+        four = index_of(tokens, "four")
+        previous = index_of(tokens, "previous")
+        # Both attach to the chunk head, so they are two hops apart.
+        assert tree.distance(four, previous) == 2
+
+    def test_chunking_on_dash(self):
+        tokens, tree = tree_for("only four bans - three for abuse")
+        four = index_of(tokens, "four")
+        three = index_of(tokens, "three")
+        assert tree.chunk_of(four) != tree.chunk_of(three)
+
+    def test_chunking_on_and(self):
+        tokens, tree = tree_for("two wins at home and three losses away")
+        assert tree.chunk_of(index_of(tokens, "wins")) != tree.chunk_of(
+            index_of(tokens, "losses")
+        )
+
+    def test_head_is_last_content_word(self):
+        tokens, tree = tree_for("one was for gambling")
+        assert tree.is_head(index_of(tokens, "gambling"))
+
+    def test_single_token_sentence(self):
+        tokens, tree = tree_for("four")
+        assert tree.distance(0, 0) == 0
+
+    def test_punctuation_only_ending(self):
+        tokens, tree = tree_for("four bans.")
+        four = index_of(tokens, "four")
+        bans = index_of(tokens, "bans")
+        assert tree.distance(four, bans) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", ",", "delta", "and", "five"]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_distance_is_a_metric(words):
+    """Property: symmetry and triangle inequality hold for all pairs."""
+    tokens = tokenize_with_punct(" ".join(words))
+    if not tokens:
+        return
+    tree = build_dependency_tree(tokens)
+    n = len(tokens)
+    for i in range(n):
+        assert tree.distance(i, i) == 0
+        for j in range(n):
+            assert tree.distance(i, j) == tree.distance(j, i)
+            assert tree.distance(i, j) >= (0 if i == j else 1)
+            for k in range(n):
+                assert (
+                    tree.distance(i, k)
+                    <= tree.distance(i, j) + tree.distance(j, k)
+                )

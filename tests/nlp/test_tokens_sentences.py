@@ -1,0 +1,71 @@
+"""Unit tests for tokenization and sentence splitting."""
+
+from __future__ import annotations
+
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokens import tokenize_with_punct
+
+
+class TestTokenize:
+    def test_words_and_punct(self):
+        tokens = tokenize_with_punct("three were for abuse, one for gambling.")
+        texts = [t.text for t in tokens]
+        assert "," in texts and "." in texts
+        assert texts[0] == "three"
+
+    def test_indices_sequential(self):
+        tokens = tokenize_with_punct("a b c")
+        assert [t.index for t in tokens] == [0, 1, 2]
+
+    def test_number_with_percent(self):
+        tokens = tokenize_with_punct("13% of devs")
+        assert tokens[0].text == "13%"
+        assert tokens[0].is_number_like
+
+    def test_number_with_comma(self):
+        tokens = tokenize_with_punct("1,234 rows")
+        assert tokens[0].text == "1,234"
+
+    def test_contraction(self):
+        tokens = tokenize_with_punct("i'm self-taught")
+        assert tokens[0].text == "i'm"
+
+    def test_dash_is_punctuation(self):
+        tokens = tokenize_with_punct("bans - three were")
+        assert any(t.text == "-" and t.is_punctuation for t in tokens)
+
+    def test_word_properties(self):
+        token = tokenize_with_punct("Games")[0]
+        assert token.is_word and not token.is_punctuation
+        assert token.lower == "games"
+
+
+class TestSplitSentences:
+    def test_basic(self):
+        text = "First sentence. Second sentence! Third one?"
+        assert len(split_sentences(text)) == 3
+
+    def test_abbreviations_protected(self):
+        text = "Mr. Smith visited. He left."
+        sentences = split_sentences(text)
+        assert len(sentences) == 2
+        assert sentences[0] == "Mr. Smith visited."
+
+    def test_decimals_protected(self):
+        text = "The average was 3.5 goals. That is high."
+        assert len(split_sentences(text)) == 2
+
+    def test_initials_protected(self):
+        assert len(split_sentences("J. Doe won. K. Roe lost.")) == 2
+
+    def test_whitespace_normalized(self):
+        sentences = split_sentences("One   sentence\nacross lines. Two.")
+        assert sentences[0] == "One sentence across lines."
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("headline without period") == [
+            "headline without period"
+        ]

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+NFL_CSV = """Name,Team,Games,Category,Year
+Ray Rice,BAL,2,domestic violence,2014
+Art Schlichter,BAL,indef,gambling,1983
+Stanley Wilson,CIN,indef,"substance abuse, repeated offense",1989
+Dexter Manley,WAS,indef,"substance abuse, repeated offense",1991
+Roy Tarpley,DAL,indef,"substance abuse, repeated offense",1995
+Josh Gordon,CLE,16,substance abuse,2014
+"""
+
+ARTICLE_HTML = """
+<title>Punishing players</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"""
+
+BAD_ARTICLE_HTML = ARTICLE_HTML.replace("only four previous", "only nine previous")
+
+
+@pytest.fixture()
+def data_files(tmp_path):
+    csv = tmp_path / "nflsuspensions.csv"
+    csv.write_text(NFL_CSV)
+    article = tmp_path / "article.html"
+    article.write_text(ARTICLE_HTML)
+    bad_article = tmp_path / "bad.html"
+    bad_article.write_text(BAD_ARTICLE_HTML)
+    return csv, article, bad_article
+
+
+class TestCheckCommand:
+    def test_clean_article_exit_zero(self, data_files, capsys):
+        csv, article, _ = data_files
+        code = main(["check", "--csv", str(csv), "--article", str(article)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[OK four]" in output
+        assert "3 claims checked, 0 flagged" in output
+
+    def test_erroneous_article_exit_one(self, data_files, capsys):
+        csv, _, bad_article = data_files
+        code = main(["check", "--csv", str(csv), "--article", str(bad_article)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "[ERR nine ->" in output
+
+    def test_json_output(self, data_files, capsys):
+        csv, article, _ = data_files
+        code = main(
+            ["check", "--csv", str(csv), "--article", str(article), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["claims"]) == 3
+        assert payload["claims"][0]["status"] == "verified"
+        assert payload["claims"][0]["top_query"].startswith("SELECT Count(*)")
+
+    def test_plain_text_article(self, data_files, tmp_path, capsys):
+        csv, _, _ = data_files
+        article = tmp_path / "plain.txt"
+        article.write_text(
+            "There were four lifetime bans in the data.\n\n"
+            "One was for gambling."
+        )
+        code = main(["check", "--csv", str(csv), "--article", str(article)])
+        assert code == 0
+
+    def test_data_dictionary_flag(self, data_files, tmp_path, capsys):
+        csv, article, _ = data_files
+        dictionary = tmp_path / "dict.csv"
+        dictionary.write_text("column,description\nGames,suspension length\n")
+        code = main(
+            [
+                "check",
+                "--csv",
+                str(csv),
+                "--article",
+                str(article),
+                "--data-dict",
+                str(dictionary),
+            ]
+        )
+        assert code == 0
+
+    def test_missing_file_is_reported(self, data_files, tmp_path, capsys):
+        csv, _, _ = data_files
+        code = main(
+            ["check", "--csv", str(csv), "--article", str(tmp_path / "x.html")]
+        )
+        assert code == 2 or code == 1  # load error surfaces as exit 2
+
+    def test_hits_flag(self, data_files, capsys):
+        csv, article, _ = data_files
+        code = main(
+            [
+                "check",
+                "--csv",
+                str(csv),
+                "--article",
+                str(article),
+                "--hits",
+                "5",
+            ]
+        )
+        assert code in (0, 1)
+
+
+class TestCorpusStats:
+    def test_prints_statistics(self, capsys):
+        code = main(["corpus-stats"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "articles: 53" in output
+        assert "predicate histogram" in output

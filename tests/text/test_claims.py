@@ -1,0 +1,60 @@
+"""Unit tests for claim detection heuristics."""
+
+from __future__ import annotations
+
+from repro.text import ClaimDetectionConfig, Document, detect_claims
+
+
+def doc(*paragraphs):
+    return Document.from_plain_text("Title", list(paragraphs))
+
+
+class TestDetectClaims:
+    def test_digit_claim(self):
+        claims = detect_claims(doc("They gave money to 63 candidates."))
+        assert len(claims) == 1
+        assert claims[0].claimed_value == 63
+
+    def test_spelled_claim(self):
+        claims = detect_claims(doc("There were only four lifetime bans."))
+        assert claims[0].claimed_value == 4
+
+    def test_multiple_claims_one_sentence(self):
+        claims = detect_claims(
+            doc("Three were for substance abuse, one was for gambling.")
+        )
+        assert [c.claimed_value for c in claims] == [3, 1]
+
+    def test_percentage_claim(self):
+        claims = detect_claims(doc("13% of respondents are self-taught."))
+        assert claims[0].is_percentage_claim
+
+    def test_years_skipped_by_default(self):
+        assert detect_claims(doc("The rule changed in 2014.")) == []
+
+    def test_years_kept_when_configured(self):
+        config = ClaimDetectionConfig(skip_years=False)
+        claims = detect_claims(doc("The rule changed in 2014."), config)
+        assert len(claims) == 1
+
+    def test_ordinals_skipped(self):
+        assert detect_claims(doc("It was the third season in a row.")) == []
+
+    def test_ordinals_kept_when_configured(self):
+        config = ClaimDetectionConfig(skip_ordinals=False)
+        assert len(detect_claims(doc("It was the third season."), config)) == 1
+
+    def test_ordinals_stable(self):
+        claims = detect_claims(doc("First 3 wins.", "Then 5 losses."))
+        assert [c.ordinal for c in claims] == [0, 1]
+
+    def test_claim_key_distinguishes_same_value(self):
+        claims = detect_claims(doc("4 wins at home and 4 away."))
+        assert len(claims) == 2
+        assert claims[0].key() != claims[1].key()
+
+    def test_document_order(self):
+        claims = detect_claims(
+            doc("Alpha had 10 wins.", "Beta had 20 wins. Gamma had 30.")
+        )
+        assert [c.claimed_value for c in claims] == [10, 20, 30]

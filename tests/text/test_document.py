@@ -1,0 +1,118 @@
+"""Unit tests for the hierarchical document model and HTML parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.text import Document, parse_html
+
+HTML = """
+<html><head><title>NFL Suspensions</title></head><body>
+<h1>The NFL's Uneven History</h1>
+<p>The league suspended many players. Most bans were short.</p>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+<p>A second paragraph here.</p>
+<h2>Recent cases</h2>
+<p>Two cases happened in 2014.</p>
+</body></html>
+"""
+
+
+class TestParseHtml:
+    def test_title(self):
+        document = parse_html(HTML)
+        assert document.title == "NFL Suspensions"
+
+    def test_section_hierarchy(self):
+        document = parse_html(HTML)
+        h1 = document.root.subsections[0]
+        assert h1.headline == "The NFL's Uneven History"
+        assert [s.headline for s in h1.subsections] == [
+            "Lifetime bans",
+            "Recent cases",
+        ]
+
+    def test_paragraphs_attached_to_sections(self):
+        document = parse_html(HTML)
+        h2 = document.root.subsections[0].subsections[0]
+        assert len(h2.paragraphs) == 2
+
+    def test_sentences_split(self):
+        document = parse_html(HTML)
+        h2 = document.root.subsections[0].subsections[0]
+        assert len(h2.paragraphs[0].sentences) == 2
+
+    def test_ancestors_chain(self):
+        document = parse_html(HTML)
+        h2 = document.root.subsections[0].subsections[0]
+        headlines = [s.headline for s in h2.ancestors()]
+        assert headlines == [
+            "Lifetime bans",
+            "The NFL's Uneven History",
+            "NFL Suspensions",
+        ]
+
+    def test_sibling_sections_do_not_nest(self):
+        document = parse_html(HTML)
+        h1 = document.root.subsections[0]
+        recent = h1.subsections[1]
+        assert recent.parent is h1
+
+    def test_empty_html_rejected(self):
+        with pytest.raises(DocumentError):
+            parse_html("   ")
+
+    def test_text_only_html_rejected(self):
+        with pytest.raises(DocumentError):
+            parse_html("<div></div>")
+
+    def test_entities_decoded(self):
+        document = parse_html("<p>Tom &amp; Jerry won 3 games.</p>")
+        assert "Tom & Jerry" in document.sentences()[0].text
+
+    def test_nested_markup_inside_paragraph(self):
+        document = parse_html("<p>It was <b>four</b> bans.</p>")
+        assert document.sentences()[0].text == "It was four bans."
+
+    def test_deeper_heading_after_shallow(self):
+        document = parse_html("<h1>A</h1><h3>B</h3><p>text here.</p>")
+        h1 = document.root.subsections[0]
+        assert h1.subsections[0].headline == "B"
+        assert h1.subsections[0].paragraphs
+
+
+class TestDocumentModel:
+    def test_from_plain_text(self):
+        document = Document.from_plain_text("T", ["One. Two.", "Three."])
+        assert len(document.paragraphs()) == 2
+        assert len(document.sentences()) == 3
+
+    def test_sentence_links(self):
+        document = Document.from_plain_text("T", ["First. Second."])
+        first, second = document.sentences()
+        assert second.previous is first
+        assert first.previous is None
+        assert first.is_paragraph_start
+
+    def test_sentence_tokens_cached(self):
+        document = Document.from_plain_text("T", ["Count 4 bans."])
+        sentence = document.sentences()[0]
+        assert sentence.tokens is sentence.tokens
+
+    def test_empty_paragraphs_dropped(self):
+        document = Document.from_plain_text("T", ["  ", "Real text."])
+        assert len(document.paragraphs()) == 1
+
+    def test_document_text_includes_headlines(self):
+        document = parse_html(HTML)
+        text = document.text()
+        assert "Lifetime bans" in text and "gambling" in text
+
+    def test_empty_sentence_rejected(self):
+        from repro.text.document import Paragraph, Section, Sentence
+
+        with pytest.raises(DocumentError):
+            Sentence("  ", Paragraph(Section()), 0)
