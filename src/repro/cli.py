@@ -25,6 +25,7 @@ from repro.core import AggChecker, render_markup
 from repro.core.config import AggCheckerConfig
 from repro.db.csvio import load_csv
 from repro.db.datadict import load_data_dictionary
+from repro.db.engine import ExecutionBackend, ExecutionMode
 from repro.db.schema import Database
 from repro.db.sql import render_sql
 from repro.errors import ReproError
@@ -60,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--p-true", type=float, default=0.999, help="assumed P(claim correct)"
     )
     check.add_argument(
+        "--backend",
+        choices=[backend.value for backend in ExecutionBackend],
+        default=ExecutionBackend.COLUMNAR.value,
+        help="query-engine backend: dictionary-encoded 'columnar' (default) "
+        "or the row-wise reference 'row'",
+    )
+    check.add_argument(
+        "--execution-mode",
+        choices=[mode.value for mode in ExecutionMode],
+        default=ExecutionMode.MERGED_CACHED.value,
+        help="batch execution strategy (Table 6 ladder)",
+    )
+    check.add_argument(
         "--json", action="store_true", help="emit a JSON report"
     )
 
@@ -86,7 +100,11 @@ def _run_check(args) -> int:
     dictionary = (
         load_data_dictionary(args.data_dict) if args.data_dict else None
     )
-    config = AggCheckerConfig(predicate_hits=args.hits)
+    config = AggCheckerConfig(
+        predicate_hits=args.hits,
+        backend=ExecutionBackend(args.backend),
+        execution_mode=ExecutionMode(args.execution_mode),
+    )
     config = config.with_em(p_true=args.p_true)
     checker = AggChecker(database, config, dictionary)
 

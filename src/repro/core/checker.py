@@ -100,7 +100,9 @@ class AggChecker:
             database, self.config.extraction, data_dictionary
         )
         self.index = FragmentIndex(self.catalog)
-        self.engine = QueryEngine(database, self.config.execution_mode)
+        self.engine = QueryEngine(
+            database, self.config.execution_mode, backend=self.config.backend
+        )
 
     def check_html(self, html: str) -> CheckReport:
         """Parse HTML and verify the resulting document."""

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.db.engine import ExecutionMode
+from repro.db.engine import ExecutionBackend, ExecutionMode
 from repro.fragments.extract import ExtractionConfig
 from repro.matching.context import ContextConfig
 from repro.model.candidates import CandidateConfig
@@ -38,6 +38,9 @@ class AggCheckerConfig:
     column_hits: int = 10
     #: Query-engine execution strategy (Table 6 ladder).
     execution_mode: ExecutionMode = ExecutionMode.MERGED_CACHED
+    #: Physical engine backend: dictionary-encoded columnar (default,
+    #: vectorized with NumPy when available) or the row-wise oracle.
+    backend: ExecutionBackend = ExecutionBackend.COLUMNAR
     #: Share predicate fragments across the document's claims (paper
     #: Section 6.3 pools literals "for any claim in the document").
     pool_predicates: bool = True

@@ -17,6 +17,7 @@ This subpackage provides everything AggChecker needs from a database system:
 """
 
 from repro.db.aggregates import AggregateFunction
+from repro.db.columnar import ColumnarRelation, ExecutionBackend
 from repro.db.csvio import load_csv, load_csv_text
 from repro.db.cube import CubeQuery, CubeResult, execute_cube
 from repro.db.engine import (
@@ -38,11 +39,13 @@ __all__ = [
     "Column",
     "ColumnRef",
     "ColumnType",
+    "ColumnarRelation",
     "CubeCoverStrategy",
     "CubeQuery",
     "CubeResult",
     "Database",
     "EngineStats",
+    "ExecutionBackend",
     "ExecutionMode",
     "ForeignKey",
     "JoinGraph",

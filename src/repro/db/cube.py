@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.db.aggregates import AggregateFunction
+from repro.db.columnar import ColumnarRelation, execute_cube_columnar
 from repro.db.joins import JoinGraph, Relation
 from repro.db.query import AggregateSpec, ColumnRef
 from repro.db.schema import Database
@@ -83,11 +84,12 @@ class CubeQuery:
 class _Partial:
     """Mergeable per-group accumulator for all basis aggregates of a column."""
 
-    __slots__ = ("rows", "count", "total", "minimum", "maximum", "distinct")
+    __slots__ = ("rows", "count", "ncount", "total", "minimum", "maximum", "distinct")
 
     def __init__(self) -> None:
         self.rows = 0
         self.count = 0
+        self.ncount = 0
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
@@ -101,6 +103,7 @@ class _Partial:
         self.distinct.add(normalize_string(cell))
         number = coerce_number(cell)
         if number is not None:
+            self.ncount += 1
             self.total += number
             if self.minimum is None or number < self.minimum:
                 self.minimum = number
@@ -110,6 +113,7 @@ class _Partial:
     def merge(self, other: "_Partial") -> None:
         self.rows += other.rows
         self.count += other.count
+        self.ncount += other.ncount
         self.total += other.total
         if other.minimum is not None:
             if self.minimum is None or other.minimum < self.minimum:
@@ -125,15 +129,15 @@ class _Partial:
             return self.rows if spec.column.is_star else self.count
         if fn is AggregateFunction.COUNT_DISTINCT:
             return len(self.distinct)
-        if self.count == 0 or self.minimum is None:
+        if self.ncount == 0:
             # No numeric cells: Sum/Avg/Min/Max are NULL.
-            if fn is AggregateFunction.SUM and self.count > 0:
-                return None
             return None
         if fn is AggregateFunction.SUM:
             return self.total
         if fn is AggregateFunction.AVG:
-            return self.total / self.count
+            # Divide by the numeric count, matching the naive executor's
+            # compute_plain (non-numeric strings are skipped, not averaged).
+            return self.total / self.ncount
         if fn is AggregateFunction.MIN:
             return self.minimum
         if fn is AggregateFunction.MAX:
@@ -214,7 +218,11 @@ def execute_cube(
     return _cube_over_relation(relation, cube)
 
 
-def _cube_over_relation(relation: Relation, cube: CubeQuery) -> CubeResult:
+def _cube_over_relation(
+    relation: Relation | ColumnarRelation, cube: CubeQuery
+) -> CubeResult:
+    if isinstance(relation, ColumnarRelation):
+        return execute_cube_columnar(relation, cube)
     dim_indexes = [relation.column_index(dim) for dim in cube.dimensions]
     literal_sets = [set(literals) for _, literals in cube.literals]
     agg_columns: list[tuple[AggregateSpec, int | None]] = []

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.db.aggregates import AggregateFunction, ratio_value
 from repro.db.cache import ResultCache
+from repro.db.columnar import ExecutionBackend
 from repro.db.cube import ALL, CubeQuery, CubeResult, execute_cube
 from repro.db.executor import execute_query
 from repro.db.joins import JoinGraph
@@ -95,12 +96,14 @@ class QueryEngine:
         mode: ExecutionMode = ExecutionMode.MERGED_CACHED,
         cover_strategy: CubeCoverStrategy = CubeCoverStrategy.EXACT,
         paper_max_predicates: int = 3,
+        backend: ExecutionBackend = ExecutionBackend.COLUMNAR,
     ) -> None:
         self.database = database
         self.mode = mode
         self.cover_strategy = cover_strategy
         self.paper_max_predicates = paper_max_predicates
-        self.join_graph = JoinGraph(database)
+        self.backend = backend
+        self.join_graph = JoinGraph(database, backend=backend)
         self.cache = ResultCache()
         self.stats = EngineStats()
 
@@ -258,14 +261,19 @@ class QueryEngine:
     ) -> dict[AggregateSpec, dict]:
         cells_by_spec: dict[AggregateSpec, dict] = {}
         missing: list[AggregateSpec] = []
+        # Accumulate hit/miss *deltas*: in MERGED mode a fresh ResultCache is
+        # created per evaluate() call, so copying the cache's own counters
+        # would clobber the cumulative engine stats every batch.
+        hits_before = cache.stats.hits
+        misses_before = cache.stats.misses
         for spec in sorted(specs, key=str):
             entry = cache.get(tables, spec, dims, literal_map)
             if entry is not None:
                 cells_by_spec[spec] = entry.cells
             else:
                 missing.append(spec)
-        self.stats.cache_hits = cache.stats.hits
-        self.stats.cache_misses = cache.stats.misses
+        self.stats.cache_hits += cache.stats.hits - hits_before
+        self.stats.cache_misses += cache.stats.misses - misses_before
         if missing:
             cube = CubeQuery(
                 tables=tables,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.db.aggregates import AggregateFunction, compute_plain, ratio_value
+from repro.db.columnar import ColumnarRelation, execute_columnar_query
 from repro.db.joins import JoinGraph, Relation
 from repro.db.predicates import Predicate
 from repro.db.query import SimpleAggregateQuery
@@ -28,6 +29,8 @@ def execute_query(
     """Evaluate one Simple Aggregate Query; returns a number or NULL."""
     graph = join_graph or JoinGraph(database)
     relation = base_relation(database, query, graph)
+    if isinstance(relation, ColumnarRelation):
+        return execute_columnar_query(relation, query)
     if query.aggregate.function.is_ratio:
         return _ratio(relation, query)
     cells = _filtered_cells(relation, query.aggregate, query.all_predicates)
@@ -38,7 +41,7 @@ def base_relation(
     database: Database,
     query: SimpleAggregateQuery,
     graph: JoinGraph,
-) -> Relation:
+) -> Relation | ColumnarRelation:
     """The joined relation implied by the query's referenced columns."""
     tables = query.referenced_tables()
     if not tables:

@@ -11,6 +11,13 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Sequence
 
+from repro.db.columnar import (
+    ColumnarRelation,
+    EncodedTable,
+    ExecutionBackend,
+    build_columnar_relation,
+    encode_table,
+)
 from repro.db.refs import ColumnRef
 from repro.db.schema import Database, ForeignKey
 from repro.db.values import Value, normalize_string
@@ -61,17 +68,29 @@ class JoinGraph:
     Joined relations can be large; the memo keyed by the requested table set
     lets candidate evaluation reuse one materialization across thousands of
     query candidates (this is part of what makes Table 6's merged mode fast).
+
+    ``backend`` selects the physical representation: ``ROW`` materializes
+    tuple-based :class:`Relation` objects (the reference path), ``COLUMNAR``
+    materializes dictionary-encoded
+    :class:`~repro.db.columnar.ColumnarRelation` objects via a hash join on
+    integer key codes; base tables are encoded once and memoized.
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(
+        self,
+        database: Database,
+        backend: ExecutionBackend = ExecutionBackend.ROW,
+    ) -> None:
         self.database = database
+        self.backend = backend
         self._adjacent: dict[str, list[ForeignKey]] = {
             table.name: [] for table in database.tables
         }
         for fk in database.foreign_keys:
             self._adjacent[fk.source_table].append(fk)
             self._adjacent[fk.target_table].append(fk)
-        self._relations: dict[frozenset[str], Relation] = {}
+        self._relations: dict[frozenset[str], Relation | ColumnarRelation] = {}
+        self._encoded: dict[str, EncodedTable] = {}
 
     def join_path(self, tables: Iterable[str]) -> JoinPath:
         """Smallest join tree covering ``tables`` (unique on acyclic graphs)."""
@@ -107,15 +126,22 @@ class JoinGraph:
         ordered = self._order_tables(start, needed_tables, needed_edges)
         return JoinPath(tuple(ordered), tuple(needed_edges))
 
-    def relation(self, tables: Iterable[str]) -> Relation:
+    def relation(self, tables: Iterable[str]) -> Relation | ColumnarRelation:
         """Materialized equi-join over the join tree covering ``tables``."""
         key = frozenset(tables)
         if key not in self._relations:
             self._relations[key] = self._build_relation(key)
         return self._relations[key]
 
+    def encoded_table(self, name: str) -> EncodedTable:
+        """Dictionary-encode a base table once; reused by every join."""
+        if name not in self._encoded:
+            self._encoded[name] = encode_table(self.database.table(name))
+        return self._encoded[name]
+
     def clear_memo(self) -> None:
         self._relations.clear()
+        self._encoded.clear()
 
     def _bfs_tree(
         self, start: str
@@ -155,9 +181,11 @@ class JoinGraph:
             ordered.append(table)
         return ordered
 
-    def _build_relation(self, tables: frozenset[str]) -> Relation:
+    def _build_relation(self, tables: frozenset[str]) -> Relation | ColumnarRelation:
         path = self.join_path(tables)
         database = self.database
+        if self.backend is ExecutionBackend.COLUMNAR:
+            return build_columnar_relation(database, path, self.encoded_table)
         first = database.table(path.tables[0])
         columns: list[ColumnRef] = [
             ColumnRef(first.name, column.name) for column in first.columns

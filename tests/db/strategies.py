@@ -11,6 +11,7 @@ from repro.db import (
     ColumnRef,
     ColumnType,
     Database,
+    ForeignKey,
     Predicate,
     STAR,
     SimpleAggregateQuery,
@@ -19,6 +20,12 @@ from repro.db import (
 
 CATEGORIES = ["alpha", "beta", "gamma", "delta"]
 FLAGS = ["yes", "no", "maybe"]
+LEAGUES = ["east", "west"]
+POSITIONS = ["guard", "center", "forward"]
+
+#: Cells that stress normalization and numeric coercion: mixed case,
+#: whitespace, separators, currency/percent markers, and non-numeric noise.
+MESSY_NUMERICS = ["1,200", "$40", "12%", "(3)", "n/a", "  7  ", ""]
 
 NON_RATIO = [
     AggregateFunction.COUNT,
@@ -88,6 +95,117 @@ def claim_queries(draw) -> SimpleAggregateQuery:
         predicates.append(
             Predicate(ColumnRef("facts", "flag"), draw(st.sampled_from(FLAGS)))
         )
+    return SimpleAggregateQuery(AggregateSpec(function, column), tuple(predicates))
+
+
+@st.composite
+def nullheavy_databases(draw) -> Database:
+    """A single-table database where most cells are NULL or messy strings."""
+    n_rows = draw(st.integers(min_value=0, max_value=25))
+    cell = st.none() | st.sampled_from(CATEGORIES) | st.just("  ")
+    amount = (
+        st.none()
+        | st.integers(min_value=-9, max_value=9)
+        | st.sampled_from(MESSY_NUMERICS)
+    )
+    rows = [
+        (draw(cell), draw(st.sampled_from(FLAGS) | st.none()), draw(amount))
+        for _ in range(n_rows)
+    ]
+    table = Table(
+        "facts",
+        [
+            Column("category"),
+            Column("flag"),
+            Column("amount", ColumnType.NUMERIC),
+        ],
+        rows,
+    )
+    return Database("nullheavy", [table])
+
+
+@st.composite
+def joined_databases(draw) -> Database:
+    """A two-table players -> teams database with NULL join keys and
+    dangling foreign keys (rows both sides drop during the equi-join)."""
+    n_teams = draw(st.integers(min_value=1, max_value=4))
+    team_ids = [f"t{i}" for i in range(n_teams)]
+    teams = Table(
+        "teams",
+        [Column("team_id"), Column("league")],
+        [
+            (team_id, draw(st.sampled_from(LEAGUES) | st.none()))
+            for team_id in team_ids
+        ],
+        primary_key="team_id",
+    )
+    n_players = draw(st.integers(min_value=0, max_value=25))
+    key = st.sampled_from(team_ids + ["t-dangling"]) | st.none()
+    salary = st.none() | st.integers(min_value=0, max_value=500)
+    players = Table(
+        "players",
+        [
+            Column("player_id"),
+            Column("team"),
+            Column("position"),
+            Column("salary", ColumnType.NUMERIC),
+        ],
+        [
+            (
+                f"p{i}",
+                draw(key),
+                draw(st.sampled_from(POSITIONS)),
+                draw(salary),
+            )
+            for i in range(n_players)
+        ],
+        primary_key="player_id",
+    )
+    return Database(
+        "sports",
+        [players, teams],
+        [ForeignKey("players", "team", "teams", "team_id")],
+    )
+
+
+@st.composite
+def joined_queries(draw) -> SimpleAggregateQuery:
+    """A query whose predicates span the players -> teams join."""
+    function = draw(st.sampled_from(NON_RATIO + [AggregateFunction.PERCENTAGE]))
+    if function.needs_numeric_column:
+        column = ColumnRef("players", "salary")
+    elif draw(st.booleans()) and function in (
+        AggregateFunction.COUNT,
+        AggregateFunction.PERCENTAGE,
+    ):
+        column = STAR
+    else:
+        column = draw(
+            st.sampled_from(
+                [
+                    ColumnRef("players", "position"),
+                    ColumnRef("players", "salary"),
+                    ColumnRef("teams", "league"),
+                ]
+            )
+        )
+    predicates = []
+    if draw(st.booleans()):
+        predicates.append(
+            Predicate(
+                ColumnRef("teams", "league"),
+                draw(st.sampled_from(LEAGUES + ["nowhere"])),
+            )
+        )
+    if draw(st.booleans()):
+        predicates.append(
+            Predicate(
+                ColumnRef("players", "position"), draw(st.sampled_from(POSITIONS))
+            )
+        )
+    if not predicates and column.is_star:
+        # A table-less star is ambiguous on a two-table database.
+        column = ColumnRef("players", "*")
     return SimpleAggregateQuery(AggregateSpec(function, column), tuple(predicates))
 
 

@@ -145,6 +145,96 @@ class TestCubeAggregates:
         assert result.value(spec, {position: "goalie"}) is None
 
 
+class TestNullAndNonNumericCells:
+    """NULL / non-numeric handling across every basis aggregate.
+
+    The ``amount`` column mixes NULLs, blank strings, non-numeric strings,
+    and coercible strings; SQL semantics require Count to skip only missing
+    cells, CountDistinct to count normalized distinct non-missing cells, and
+    the numeric aggregates to be NULL when no cell coerces to a number.
+    Parametrized over both backends (the columnar backend must replicate the
+    row-wise reference exactly).
+    """
+
+    ROWS = [
+        ("alpha", None),
+        ("alpha", "  "),
+        ("alpha", "n/a"),
+        ("beta", None),
+        ("beta", "4"),
+        ("beta", 6),
+        ("beta", "n/a"),
+    ]
+
+    def database(self):
+        from repro.db import Column, ColumnType, Database, Table
+
+        table = Table(
+            "facts",
+            [Column("category"), Column("amount", ColumnType.NUMERIC)],
+            self.ROWS,
+        )
+        return Database("mix", [table])
+
+    def result(self, backend):
+        from repro.db import ExecutionBackend
+        from repro.db.joins import JoinGraph
+
+        database = self.database()
+        category = ColumnRef("facts", "category")
+        amount = ColumnRef("facts", "amount")
+        specs = tuple(
+            AggregateSpec(fn, amount)
+            for fn in (
+                AggregateFunction.COUNT,
+                AggregateFunction.COUNT_DISTINCT,
+                AggregateFunction.SUM,
+                AggregateFunction.AVG,
+                AggregateFunction.MIN,
+                AggregateFunction.MAX,
+            )
+        )
+        cube = CubeQuery(
+            tables=frozenset({"facts"}),
+            dimensions=(category,),
+            literals=((category, frozenset({"alpha", "beta"})),),
+            aggregates=specs,
+        )
+        graph = JoinGraph(database, backend=ExecutionBackend[backend])
+        return execute_cube(database, cube, graph), specs, category
+
+    @pytest.mark.parametrize("backend", ["ROW", "COLUMNAR"])
+    def test_count_skips_only_missing(self, backend):
+        result, specs, category = self.result(backend)
+        # alpha: NULL and blank are missing, 'n/a' is not.
+        assert result.value(specs[0], {category: "alpha"}) == 1
+        assert result.value(specs[0], {category: "beta"}) == 3
+
+    @pytest.mark.parametrize("backend", ["ROW", "COLUMNAR"])
+    def test_count_distinct_normalizes(self, backend):
+        result, specs, category = self.result(backend)
+        assert result.value(specs[1], {category: "alpha"}) == 1  # 'n/a'
+        assert result.value(specs[1], {category: "beta"}) == 3  # '4', 6, 'n/a'
+        assert result.value(specs[1], {}) == 3  # 'n/a' shared across groups
+
+    @pytest.mark.parametrize("backend", ["ROW", "COLUMNAR"])
+    def test_numeric_aggregates_null_without_numbers(self, backend):
+        result, specs, category = self.result(backend)
+        for spec in specs[2:]:
+            assert result.value(spec, {category: "alpha"}) is None
+
+    @pytest.mark.parametrize("backend", ["ROW", "COLUMNAR"])
+    def test_numeric_aggregates_skip_non_numeric(self, backend):
+        result, specs, category = self.result(backend)
+        beta = {category: "beta"}
+        assert result.value(specs[2], beta) == pytest.approx(10.0)  # Sum
+        # Avg divides by the numeric count ('n/a' skipped), matching the
+        # naive executor so engine modes agree on messy numeric columns.
+        assert result.value(specs[3], beta) == pytest.approx(10.0 / 2)
+        assert result.value(specs[4], beta) == pytest.approx(4.0)  # Min
+        assert result.value(specs[5], beta) == pytest.approx(6.0)  # Max
+
+
 @settings(max_examples=60, deadline=None)
 @given(database=small_databases(), query=claim_queries())
 def test_cube_matches_naive_executor(database, query):

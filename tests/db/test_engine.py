@@ -100,6 +100,33 @@ class TestSharing:
         assert engine.stats.physical_queries == physical
         assert result[q1] == 4 and result[q2] == 4
 
+    def test_merged_mode_accumulates_cache_stats(self, nfl_db):
+        """Regression: MERGED mode creates a fresh ResultCache per evaluate()
+        call; engine stats must accumulate hit/miss deltas instead of being
+        overwritten with the current cache's counters each batch."""
+        engine = QueryEngine(nfl_db, ExecutionMode.MERGED)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        first_misses = engine.stats.cache_misses
+        assert first_misses > 0
+        engine.evaluate(queries)
+        # Every batch starts cold, so misses double instead of resetting.
+        assert engine.stats.cache_misses == 2 * first_misses
+
+    def test_cached_mode_accumulates_cache_stats(self, nfl_db):
+        engine = QueryEngine(nfl_db, ExecutionMode.MERGED_CACHED)
+        queries = queries_for(nfl_db)
+        engine.evaluate(queries)
+        hits, misses = engine.stats.cache_hits, engine.stats.cache_misses
+        engine.evaluate(queries)
+        # Second batch is fully served from cache: hits grow, misses do not.
+        assert engine.stats.cache_hits > hits
+        assert engine.stats.cache_misses == misses
+        assert (engine.stats.cache_hits, engine.stats.cache_misses) == (
+            engine.cache.stats.hits,
+            engine.cache.stats.misses,
+        )
+
     def test_naive_counts_each_query(self, nfl_db):
         engine = QueryEngine(nfl_db, ExecutionMode.NAIVE)
         engine.evaluate(queries_for(nfl_db))
