@@ -5,12 +5,18 @@ Usage::
     python -m repro check --csv data.csv --article article.html
     python -m repro check --csv a.csv --csv b.csv --article draft.html \
         --data-dict dict.csv --hits 30 --json
+    python -m repro check --csv data.csv --article a.html --cache-dir .cubecache
     python -m repro corpus-stats
+    python -m repro corpus-run --workers 4 --cache-dir .cubecache
 
 ``check`` loads one or more CSV files as tables, verifies the article
 (HTML subset or plain text), and prints spell-checker markup; ``--json``
 emits a machine-readable report instead. ``corpus-stats`` prints the
-statistics of the built-in evaluation corpus.
+statistics of the built-in evaluation corpus; ``corpus-run`` verifies the
+built-in corpus end to end, optionally sharded over worker processes
+(``--workers``, 0 = one per CPU) with a shared persistent cube cache
+(``--cache-dir``), and reports precision/recall/F1, coverage, throughput,
+and cache hit rates.
 """
 
 from __future__ import annotations
@@ -31,6 +37,18 @@ from repro.db.sql import render_sql
 from repro.errors import ReproError
 from repro.text.document import Document
 from repro.text.htmlparse import parse_html
+
+
+def _worker_count(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker count: {raw!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,11 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch execution strategy (Table 6 ladder)",
     )
     check.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent cube-cell cache directory (keyed by data content; "
+        "safe to share across runs and concurrent processes)",
+    )
+    check.add_argument(
         "--json", action="store_true", help="emit a JSON report"
     )
 
     commands.add_parser(
         "corpus-stats", help="statistics of the built-in evaluation corpus"
+    )
+
+    corpus_run = commands.add_parser(
+        "corpus-run",
+        help="verify the built-in corpus (parallel workers, cube cache)",
+    )
+    corpus_run.add_argument(
+        "--limit", type=int, metavar="N", help="only run the first N cases"
+    )
+    corpus_run.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        metavar="N",
+        help="worker processes; 1 runs in-process, 0 uses one per CPU "
+        "(default: 1). Results are identical at any worker count.",
+    )
+    corpus_run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent cube-cell cache shared by all workers and runs",
+    )
+    corpus_run.add_argument(
+        "--json", action="store_true", help="emit JSON metrics"
     )
     return parser
 
@@ -88,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "check":
             return _run_check(args)
+        if args.command == "corpus-run":
+            return _run_corpus(args)
         return _run_corpus_stats()
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -104,6 +154,7 @@ def _run_check(args) -> int:
         predicate_hits=args.hits,
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
+        cache_dir=args.cache_dir,
     )
     config = config.with_em(p_true=args.p_true)
     checker = AggChecker(database, config, dictionary)
@@ -157,6 +208,68 @@ def _report_json(report) -> dict:
         "candidate_queries": report.engine_stats.queries_requested,
         "physical_queries": report.engine_stats.physical_queries,
     }
+
+
+def _run_corpus(args) -> int:
+    from repro.corpus import generate_corpus
+    from repro.harness import run_corpus
+    from repro.harness.metrics import COVERAGE_KS
+
+    import time
+
+    from repro.harness.parallel import resolve_workers
+
+    workers = resolve_workers(args.workers)
+    config = AggCheckerConfig(cache_dir=args.cache_dir)
+    corpus = generate_corpus()
+    started = time.perf_counter()
+    run = run_corpus(corpus, config, limit=args.limit, workers=workers)
+    wall_seconds = time.perf_counter() - started
+    metrics = run.metrics
+    stats = run.engine_stats
+    seconds = max(wall_seconds, 1e-9)
+    payload = {
+        "cases": len(run.results),
+        "claims": metrics.n_claims,
+        "erroneous": metrics.n_erroneous,
+        "flagged": metrics.n_flagged,
+        "precision": round(metrics.precision, 4),
+        "recall": round(metrics.recall, 4),
+        "f1": round(metrics.f1, 4),
+        "top_k_coverage": {
+            k: round(metrics.top_k_coverage(k), 1) for k in COVERAGE_KS
+        },
+        "seconds": round(wall_seconds, 3),
+        "case_seconds": round(metrics.total_seconds, 3),
+        "claims_per_sec": round(metrics.n_claims / seconds, 2),
+        "workers": workers,
+        "physical_queries": stats.physical_queries,
+        "cube_queries": stats.cube_queries,
+        "memory_cache_hit_rate": round(stats.cache_hit_rate(), 4),
+        "disk_cache_hit_rate": round(stats.disk_hit_rate(), 4),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"cases: {payload['cases']}, claims: {payload['claims']}")
+    print(
+        f"precision: {payload['precision']:.3f}, "
+        f"recall: {payload['recall']:.3f}, f1: {payload['f1']:.3f}"
+    )
+    coverage = ", ".join(
+        f"top-{k}={v:.1f}%" for k, v in payload["top_k_coverage"].items()
+    )
+    print(f"coverage: {coverage}")
+    print(
+        f"throughput: {payload['claims_per_sec']:.1f} claims/s "
+        f"({payload['seconds']:.1f}s, workers={workers})"
+    )
+    print(
+        f"engine: {stats.physical_queries} physical queries, "
+        f"memory hit rate {payload['memory_cache_hit_rate']:.1%}, "
+        f"disk hit rate {payload['disk_cache_hit_rate']:.1%}"
+    )
+    return 0
 
 
 def _run_corpus_stats() -> int:

@@ -100,8 +100,16 @@ class AggChecker:
             database, self.config.extraction, data_dictionary
         )
         self.index = FragmentIndex(self.catalog)
+        disk_cache = None
+        if self.config.cache_dir:
+            from repro.db.diskcache import DiskCubeCache
+
+            disk_cache = DiskCubeCache(self.config.cache_dir)
         self.engine = QueryEngine(
-            database, self.config.execution_mode, backend=self.config.backend
+            database,
+            self.config.execution_mode,
+            backend=self.config.backend,
+            disk_cache=disk_cache,
         )
 
     def check_html(self, html: str) -> CheckReport:
@@ -131,6 +139,10 @@ class AggChecker:
     def _check(
         self, document: Document, claims: list[Claim], started: float
     ) -> CheckReport:
+        # Checkers are reused across documents (and, via CheckerPool, across
+        # corpus cases sharing a database); the report carries this
+        # document's engine-stats *delta* so per-case numbers stay additive.
+        stats_before = self.engine.stats.copy()
         scores = keyword_match(
             claims,
             self.index,
@@ -157,6 +169,6 @@ class AggChecker:
             claims=claims,
             verdicts=verdicts,
             inference=inference,
-            engine_stats=self.engine.stats,
+            engine_stats=self.engine.stats.diff(stats_before),
             total_seconds=elapsed,
         )

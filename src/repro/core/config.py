@@ -44,6 +44,11 @@ class AggCheckerConfig:
     #: Share predicate fragments across the document's claims (paper
     #: Section 6.3 pools literals "for any claim in the document").
     pool_predicates: bool = True
+    #: Directory for the persistent cube-cell cache (None disables the
+    #: disk tier). Safe to share between concurrent workers and across
+    #: runs: entries are keyed by database *content* fingerprint, so data
+    #: edits invalidate automatically.
+    cache_dir: str | None = None
 
     def with_em(self, **changes) -> "AggCheckerConfig":
         return replace(self, em=replace(self.em, **changes))

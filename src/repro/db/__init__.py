@@ -20,6 +20,7 @@ from repro.db.aggregates import AggregateFunction
 from repro.db.columnar import ColumnarRelation, ExecutionBackend
 from repro.db.csvio import load_csv, load_csv_text
 from repro.db.cube import CubeQuery, CubeResult, execute_cube
+from repro.db.diskcache import DiskCubeCache, database_fingerprint
 from repro.db.engine import (
     CubeCoverStrategy,
     EngineStats,
@@ -44,6 +45,7 @@ __all__ = [
     "CubeQuery",
     "CubeResult",
     "Database",
+    "DiskCubeCache",
     "EngineStats",
     "ExecutionBackend",
     "ExecutionMode",
@@ -55,6 +57,7 @@ __all__ = [
     "STAR",
     "SimpleAggregateQuery",
     "Table",
+    "database_fingerprint",
     "execute_cube",
     "execute_query",
     "load_csv",

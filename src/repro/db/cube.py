@@ -36,6 +36,16 @@ class _AllMarker:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<ALL>"
 
+    def __reduce__(self):
+        # Cell keys cross process/disk boundaries (parallel workers, the
+        # disk cube cache); unpickling must yield THE singleton so identity
+        # comparisons and dict lookups keep working.
+        return (_restore_all, ())
+
+
+def _restore_all() -> "_AllMarker":
+    return ALL
+
 
 #: Singleton ALL marker used in cube cell keys.
 ALL = _AllMarker()

@@ -1,0 +1,227 @@
+"""Persistent second-tier cube cache (below the in-memory ``ResultCache``).
+
+The paper's Section 6 argument is that verification cost is dominated by
+redundant query work; the in-memory :class:`~repro.db.cache.ResultCache`
+exploits that *within* one process, but ablation sweeps, EM re-runs, and
+parallel corpus workers repeat the same cube queries across processes. This
+module adds a filesystem tier:
+
+- Entries are keyed by ``(database content fingerprint, execution backend,
+  join signature, cube signature)`` — i.e. the memory tier's ``(tables,
+  aggregate spec, dimension set)`` key prefixed with a SHA-256 fingerprint
+  of the database *content* and the backend name. Editing a source CSV
+  changes the fingerprint, so stale cells are structurally unreachable (no
+  mtime bookkeeping), and backends with different edge-case semantics
+  never exchange cells.
+- Each entry stores the literal coverage alongside the cells (same
+  semantics as :class:`~repro.db.cache.CacheEntry`): a lookup that needs an
+  uncovered literal is a miss, and a store merges with whatever is already
+  on disk so coverage only grows.
+- Writes go to a temporary file in the cache directory followed by
+  ``os.replace``, so concurrent workers sharing one warm cache directory
+  never observe torn entries (last writer wins; both payloads are valid).
+
+Corrupt or unreadable entries are treated as misses and overwritten on the
+next store — a cache must never turn an IO hiccup into a pipeline failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.db.cube import CellKey
+from repro.db.query import AggregateSpec, ColumnRef
+from repro.db.schema import Database
+from repro.db.values import Value
+
+#: Bump when the on-disk payload layout changes; old entries become
+#: unreachable (different file names) instead of unreadable.
+CACHE_FORMAT_VERSION = 1
+
+_SEP = "\x1f"
+_ROW_END = "\x1e"
+
+
+def database_fingerprint(database: Database) -> str:
+    """SHA-256 over the database's full content and join structure.
+
+    Covers table names, column names/types, every cell value (with a type
+    tag, so ``1`` and ``"1"`` differ), and the foreign-key edges that
+    determine join signatures. Any data edit — including via a re-loaded
+    CSV — yields a different fingerprint.
+    """
+    digest = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        digest.update(text.encode("utf-8", "surrogatepass"))
+
+    feed(f"v{CACHE_FORMAT_VERSION}{_ROW_END}")
+    for fk in sorted(str(fk) for fk in database.foreign_keys):
+        feed(f"F{fk}{_ROW_END}")
+    for table in sorted(database.tables, key=lambda t: t.name):
+        feed(f"T{table.name}{_ROW_END}")
+        for column in table.columns:
+            feed(f"C{column.name}:{column.type.value}{_SEP}")
+        feed(_ROW_END)
+        for row in table.rows:
+            for cell in row:
+                feed(_cell_token(cell))
+            feed(_ROW_END)
+    return digest.hexdigest()
+
+
+def _cell_token(cell: Value) -> str:
+    if cell is None:
+        return f"N{_SEP}"
+    return f"{type(cell).__name__}:{cell!r}{_SEP}"
+
+
+@dataclass
+class DiskCacheStats:
+    """Filesystem-tier counters (the engine mirrors them into EngineStats)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+
+class DiskCubeCache:
+    """Shared, persistent store of cube cells keyed by database content.
+
+    One instance wraps one cache directory; any number of engines (and
+    processes) may share the directory concurrently.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = DiskCacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DiskCubeCache({str(self.root)!r})"
+
+    def _entry_key(
+        self,
+        fingerprint: str,
+        backend: str,
+        tables: frozenset[str],
+        spec: AggregateSpec,
+        dims: tuple[ColumnRef, ...],
+    ) -> str:
+        # The backend is part of the key: the columnar and row-wise
+        # executors have (documented) edge-case semantic differences, e.g.
+        # infinite floats, so their cells must never be interchanged.
+        return _SEP.join(
+            [
+                f"v{CACHE_FORMAT_VERSION}",
+                fingerprint,
+                backend,
+                ",".join(sorted(tables)),
+                str(spec),
+                ",".join(str(dim) for dim in dims),
+            ]
+        )
+
+    def _path(self, entry_key: str) -> Path:
+        digest = hashlib.sha256(entry_key.encode("utf-8")).hexdigest()
+        return self.root / f"{digest}.cube"
+
+    def load(
+        self,
+        fingerprint: str,
+        backend: str,
+        tables: frozenset[str],
+        spec: AggregateSpec,
+        dims: tuple[ColumnRef, ...],
+        literal_map: dict[ColumnRef, frozenset[str]],
+    ) -> tuple[dict[ColumnRef, set[str]], dict[CellKey, Value]] | None:
+        """Return ``(literals, cells)`` covering ``literal_map``, else None."""
+        entry_key = self._entry_key(fingerprint, backend, tables, spec, dims)
+        payload = self._read(self._path(entry_key), entry_key)
+        if payload is not None:
+            literals = payload["literals"]
+            covered = all(
+                wanted <= literals.get(dim, set())
+                for dim, wanted in literal_map.items()
+            )
+            if covered:
+                self.stats.hits += 1
+                return literals, payload["cells"]
+        self.stats.misses += 1
+        return None
+
+    def store(
+        self,
+        fingerprint: str,
+        backend: str,
+        tables: frozenset[str],
+        spec: AggregateSpec,
+        dims: tuple[ColumnRef, ...],
+        literals: dict[ColumnRef, set[str]],
+        cells: dict[CellKey, Value],
+    ) -> None:
+        """Merge an entry into the directory with an atomic replace."""
+        entry_key = self._entry_key(fingerprint, backend, tables, spec, dims)
+        path = self._path(entry_key)
+        existing = self._read(path, entry_key)
+        merged_literals = {dim: set(values) for dim, values in literals.items()}
+        merged_cells = dict(cells)
+        if existing is not None:
+            # Another run (or worker) may have covered more literals; keep
+            # the union so disk coverage only grows.
+            for dim, values in existing["literals"].items():
+                merged_literals.setdefault(dim, set()).update(values)
+            for key, value in existing["cells"].items():
+                merged_cells.setdefault(key, value)
+        payload = {
+            "key": entry_key,
+            "literals": merged_literals,
+            "cells": merged_cells,
+        }
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stats.writes += 1
+        except OSError:
+            self.stats.errors += 1  # full/read-only disk: degrade silently
+
+    def _read(self, path: Path, entry_key: str) -> dict | None:
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.stats.errors += 1
+            return None
+        # SHA-256 collisions are fantasy, but the stored key also guards
+        # against format drift and hand-copied cache directories.
+        if not isinstance(payload, dict) or payload.get("key") != entry_key:
+            return None
+        return payload
+
+    def clear(self) -> None:
+        """Remove every entry (leaves the directory in place)."""
+        for path in self.root.glob("*.cube"):
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.errors += 1

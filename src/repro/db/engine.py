@@ -15,7 +15,8 @@ from __future__ import annotations
 import enum
 import time
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING
 
 from repro.db.aggregates import AggregateFunction, ratio_value
 from repro.db.cache import ResultCache
@@ -26,6 +27,9 @@ from repro.db.joins import JoinGraph
 from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
 from repro.db.schema import Database
 from repro.db.values import Value
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.db.cache users
+    from repro.db.diskcache import DiskCubeCache
 
 
 class ExecutionMode(enum.Enum):
@@ -55,24 +59,63 @@ class CubeCoverStrategy(enum.Enum):
 
 @dataclass
 class EngineStats:
-    """Counters for the processing experiments (Table 6)."""
+    """Counters for the processing experiments (Table 6).
+
+    All fields must be additive counters: :meth:`merge`, :meth:`diff`, and
+    :meth:`reset` operate field-wise over ``dataclasses.fields``, so a new
+    counter added here is automatically aggregated everywhere stats are
+    pooled (corpus totals, parallel-shard merging, per-document deltas).
+    """
 
     queries_requested: int = 0
     physical_queries: int = 0
     cube_queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
     rows_scanned: int = 0
     query_seconds: float = 0.0
 
     def reset(self) -> None:
-        self.queries_requested = 0
-        self.physical_queries = 0
-        self.cube_queries = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.rows_scanned = 0
-        self.query_seconds = 0.0
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate another stats object into this one, field-wise."""
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return self
+
+    def __iadd__(self, other: "EngineStats") -> "EngineStats":
+        return self.merge(other)
+
+    def copy(self) -> "EngineStats":
+        return replace(self)
+
+    def diff(self, baseline: "EngineStats") -> "EngineStats":
+        """Field-wise ``self - baseline`` (e.g. per-document deltas of a
+        long-lived engine's cumulative counters)."""
+        return EngineStats(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(baseline, spec.name)
+                for spec in fields(self)
+            }
+        )
+
+    def cache_hit_rate(self) -> float:
+        """In-memory cube-cache hit rate (0.0 when nothing was looked up)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def disk_hit_rate(self) -> float:
+        """Disk-tier cube-cache hit rate (0.0 when nothing was looked up)."""
+        total = self.disk_hits + self.disk_misses
+        return self.disk_hits / total if total else 0.0
 
 
 def _basis_spec(query: SimpleAggregateQuery) -> AggregateSpec:
@@ -97,6 +140,7 @@ class QueryEngine:
         cover_strategy: CubeCoverStrategy = CubeCoverStrategy.EXACT,
         paper_max_predicates: int = 3,
         backend: ExecutionBackend = ExecutionBackend.COLUMNAR,
+        disk_cache: "DiskCubeCache | None" = None,
     ) -> None:
         self.database = database
         self.mode = mode
@@ -105,7 +149,24 @@ class QueryEngine:
         self.backend = backend
         self.join_graph = JoinGraph(database, backend=backend)
         self.cache = ResultCache()
+        self.disk_cache = disk_cache
+        self._db_fingerprint: str | None = None
         self.stats = EngineStats()
+
+    @property
+    def database_fingerprint(self) -> str:
+        """Content fingerprint of the engine's database (computed once).
+
+        Keys the disk-cache tier: any change to the underlying data (e.g.
+        an edited source CSV reloaded into a new database) yields a new
+        fingerprint and therefore cold disk-cache keys — stale cube cells
+        are never served.
+        """
+        if self._db_fingerprint is None:
+            from repro.db.diskcache import database_fingerprint
+
+            self._db_fingerprint = database_fingerprint(self.database)
+        return self._db_fingerprint
 
     def evaluate_one(self, query: SimpleAggregateQuery) -> Value:
         """Evaluate a single query (always the naive path)."""
@@ -268,6 +329,10 @@ class QueryEngine:
         misses_before = cache.stats.misses
         for spec in sorted(specs, key=str):
             entry = cache.get(tables, spec, dims, literal_map)
+            if entry is None and self.disk_cache is not None:
+                entry = self._load_from_disk(
+                    cache, tables, spec, dims, literal_map
+                )
             if entry is not None:
                 cells_by_spec[spec] = entry.cells
             else:
@@ -291,7 +356,47 @@ class QueryEngine:
                 cells = result.cells_for(spec)
                 entry = cache.put(tables, spec, dims, literal_map, cells)
                 cells_by_spec[spec] = entry.cells
+                if self.disk_cache is not None:
+                    self.disk_cache.store(
+                        self.database_fingerprint,
+                        self.backend.value,
+                        tables,
+                        spec,
+                        dims,
+                        entry.literals,
+                        entry.cells,
+                    )
         return cells_by_spec
+
+    def _load_from_disk(
+        self,
+        cache: ResultCache,
+        tables: frozenset[str],
+        spec: AggregateSpec,
+        dims: tuple[ColumnRef, ...],
+        literal_map: dict[ColumnRef, frozenset[str]],
+    ):
+        """Second-tier lookup: seed the in-memory cache from disk."""
+        loaded = self.disk_cache.load(
+            self.database_fingerprint,
+            self.backend.value,
+            tables,
+            spec,
+            dims,
+            literal_map,
+        )
+        if loaded is None:
+            self.stats.disk_misses += 1
+            return None
+        self.stats.disk_hits += 1
+        literals, cells = loaded
+        return cache.put(
+            tables,
+            spec,
+            dims,
+            {dim: frozenset(values) for dim, values in literals.items()},
+            cells,
+        )
 
     def _answer(
         self,

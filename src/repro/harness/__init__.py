@@ -12,7 +12,14 @@ from repro.harness.metrics import (
     aggregate_metrics,
     evaluate_case,
 )
-from repro.harness.runner import CorpusRun, run_case, run_corpus
+from repro.harness.parallel import run_corpus_parallel, shard_cases
+from repro.harness.runner import (
+    CheckerPool,
+    CorpusRun,
+    merge_stats,
+    run_case,
+    run_corpus,
+)
 from repro.harness.users import (
     StudyOutcome,
     UserProfile,
@@ -23,6 +30,7 @@ from repro.harness.users import (
 
 __all__ = [
     "CaseResult",
+    "CheckerPool",
     "ClaimEvaluation",
     "CorpusRun",
     "RunMetrics",
@@ -31,8 +39,11 @@ __all__ = [
     "UserSimulator",
     "aggregate_metrics",
     "evaluate_case",
+    "merge_stats",
     "run_case",
     "run_corpus",
+    "run_corpus_parallel",
+    "shard_cases",
     "run_crowd_study",
     "run_user_study",
 ]

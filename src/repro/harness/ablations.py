@@ -1,12 +1,24 @@
-"""Configuration variants for the paper's ablation studies."""
+"""Configuration variants for the paper's ablation studies.
+
+:func:`run_ladder` executes a whole ladder through the corpus pipeline:
+variants can fan out over worker processes and share one disk cube-cache
+directory, so a sweep pays for each database's cube queries once instead
+of once per variant (most ablations change scoring, not query results).
+"""
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from dataclasses import replace
 
 from repro.core.config import AggCheckerConfig
 from repro.evalexec.scope import ScopeConfig
 from repro.matching.context import ContextConfig
+
+if TYPE_CHECKING:  # runner imports nothing from here; keep it lazy anyway
+    from repro.corpus.generator import Corpus
+    from repro.harness.runner import CorpusRun
 
 
 def keyword_context_ladder() -> list[tuple[str, AggCheckerConfig]]:
@@ -85,3 +97,28 @@ def evaluation_budget_ladder(
             )
         )
     return variants
+
+
+def run_ladder(
+    ladder: list[tuple[str, AggCheckerConfig]],
+    corpus: "Corpus",
+    limit: int | None = None,
+    workers: int = 1,
+    cache_dir: str | None = None,
+) -> list[tuple[str, "CorpusRun"]]:
+    """Run every ladder variant over the corpus through one pipeline.
+
+    ``workers`` shards each variant's cases over processes;
+    ``cache_dir`` points all variants at one shared disk cube cache, so
+    after the first variant warms it the rest mostly skip cube execution
+    (the cache is keyed by database content and cube signature, not by
+    pipeline configuration — sharing across variants is sound).
+    """
+    from repro.harness.runner import run_corpus
+
+    runs = []
+    for name, config in ladder:
+        if cache_dir is not None:
+            config = replace(config, cache_dir=cache_dir)
+        runs.append((name, run_corpus(corpus, config, limit, workers=workers)))
+    return runs

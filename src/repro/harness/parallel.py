@@ -1,0 +1,124 @@
+"""Sharded, process-parallel corpus verification.
+
+Cases are grouped by database (the unit of checker reuse) and whole groups
+are dealt to worker shards with a deterministic greedy balancer, so:
+
+- fragment extraction, the fragment index, and the engine's in-memory
+  result cache are built once per database inside each worker (via
+  :class:`~repro.harness.runner.CheckerPool`), never split across workers;
+- a parallel run visits every case with exactly the same checker state as
+  the sequential runner, making results — verdicts, metrics, and engine
+  counters — identical by construction, not merely statistically close.
+
+Workers receive the case list through the process-pool initializer: under
+the ``fork`` start method (Linux) the corpus is inherited copy-on-write at
+no serialization cost; under ``spawn`` it is pickled once per worker.
+Per-case :class:`~repro.harness.metrics.CaseResult` objects travel back
+pickled and are merged in corpus order, so a parallel
+:class:`~repro.harness.runner.CorpusRun` is indistinguishable from a
+sequential one. Combine with ``AggCheckerConfig.cache_dir`` to let
+concurrent workers share one warm disk cube cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.config import AggCheckerConfig
+from repro.corpus.generator import Corpus
+from repro.corpus.spec import TestCase
+from repro.harness.metrics import CaseResult, aggregate_metrics
+from repro.harness.runner import CheckerPool, CorpusRun, merge_stats
+
+#: Worker-process state installed by the pool initializer.
+_WORKER_STATE: tuple[list[TestCase], AggCheckerConfig | None] | None = None
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Map the CLI convention (0 or None = all cores) to a worker count."""
+    if not workers:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def shard_cases(cases: list[TestCase], n_shards: int) -> list[list[int]]:
+    """Deal case indices to shards, keeping database groups whole.
+
+    Groups (all cases sharing one database object) are assigned
+    greedily to the least-loaded shard in first-seen order — deterministic
+    for a given corpus, balanced to within one group's size. Shard-local
+    indices stay in corpus order so checker state evolves exactly as in a
+    sequential run. Empty shards are dropped.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, case in enumerate(cases):
+        key = (id(case.database), id(case.data_dictionary))
+        groups.setdefault(key, []).append(index)
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    for indices in groups.values():
+        target = min(range(n_shards), key=lambda shard: (loads[shard], shard))
+        shards[target].extend(indices)
+        loads[target] += len(indices)
+    return [sorted(shard) for shard in shards if shard]
+
+
+def _init_worker(
+    cases: list[TestCase], config: AggCheckerConfig | None
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (cases, config)
+
+
+def _run_shard(indices: list[int]) -> list[tuple[int, CaseResult]]:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    cases, config = _WORKER_STATE
+    pool = CheckerPool(config)
+    return [(index, pool.run(cases[index])) for index in indices]
+
+
+def run_corpus_parallel(
+    corpus: Corpus,
+    config: AggCheckerConfig | None = None,
+    limit: int | None = None,
+    workers: int = 0,
+) -> CorpusRun:
+    """Verify a corpus across ``workers`` processes (0 = one per CPU).
+
+    Falls back to the in-process sequential runner when one worker (or one
+    shard) would do — the results are identical either way, so callers can
+    pass ``workers`` straight from a CLI flag.
+    """
+    from repro.harness.runner import run_corpus  # lazy: runner delegates here
+
+    cases = corpus.cases if limit is None else corpus.cases[:limit]
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(cases) <= 1:
+        return run_corpus(corpus, config, limit=limit, workers=1)
+    shards = shard_cases(cases, n_workers)
+    if len(shards) <= 1:
+        return run_corpus(corpus, config, limit=limit, workers=1)
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    indexed: list[tuple[int, CaseResult]] = []
+    with ProcessPoolExecutor(
+        max_workers=len(shards),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(cases, config),
+    ) as executor:
+        for future in [executor.submit(_run_shard, shard) for shard in shards]:
+            indexed.extend(future.result())
+
+    indexed.sort(key=lambda pair: pair[0])
+    results = [result for _, result in indexed]
+    return CorpusRun(results, aggregate_metrics(results), merge_stats(results))

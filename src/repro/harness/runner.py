@@ -1,4 +1,14 @@
-"""Run the AggChecker over corpus cases in fully automated mode."""
+"""Run the AggChecker over corpus cases in fully automated mode.
+
+Checker construction is the expensive per-case fixed cost (fragment
+extraction, fragment indexing, join-graph setup); :class:`CheckerPool`
+amortizes it by keeping one :class:`~repro.core.checker.AggChecker` per
+distinct database, so cases sharing a database also share the engine's
+in-memory :class:`~repro.db.cache.ResultCache`. The sequential
+:func:`run_corpus` and the process-parallel runner in
+:mod:`repro.harness.parallel` are both built on the pool, which keeps
+their per-case behavior (and therefore their results) identical.
+"""
 
 from __future__ import annotations
 
@@ -30,35 +40,83 @@ class CorpusRun:
         return self.metrics.total_seconds
 
 
+class CheckerPool:
+    """One reusable :class:`AggChecker` per distinct database.
+
+    Cases are keyed by the identity of their database (and data
+    dictionary) object: corpus generators that share a database across
+    cases get fragment extraction, the fragment index, and the engine's
+    result cache built once instead of once per case. The pool holds
+    strong references, so keys stay valid for its lifetime.
+    """
+
+    def __init__(self, config: AggCheckerConfig | None = None) -> None:
+        self.config = config or AggCheckerConfig()
+        # Value keeps the keyed objects alive: id() keys are only unique
+        # while the objects live, and AggChecker does not retain the data
+        # dictionary it was built from.
+        self._checkers: dict[
+            tuple[int, int], tuple[AggChecker, TestCase]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._checkers)
+
+    def checker_for(self, case: TestCase) -> AggChecker:
+        key = (id(case.database), id(case.data_dictionary))
+        entry = self._checkers.get(key)
+        if entry is None:
+            checker = AggChecker(
+                case.database, self.config, case.data_dictionary
+            )
+            self._checkers[key] = (checker, case)
+            return checker
+        return entry[0]
+
+    def run(self, case: TestCase) -> CaseResult:
+        """Verify one case against its ground truth."""
+        checker = self.checker_for(case)
+        report = checker.check_claims(case.document, case.claims)
+        return evaluate_case(case, report)
+
+    def clear(self) -> None:
+        self._checkers.clear()
+
+
 def run_case(
     case: TestCase, config: AggCheckerConfig | None = None
 ) -> CaseResult:
     """Verify one test case against its ground truth."""
-    checker = AggChecker(
-        case.database, config or AggCheckerConfig(), case.data_dictionary
-    )
-    report = checker.check_claims(case.document, case.claims)
-    return evaluate_case(case, report)
+    return CheckerPool(config).run(case)
 
 
 def run_corpus(
     corpus: Corpus,
     config: AggCheckerConfig | None = None,
     limit: int | None = None,
+    workers: int = 1,
 ) -> CorpusRun:
-    """Verify every case of the corpus (or the first ``limit`` cases)."""
+    """Verify every case of the corpus (or the first ``limit`` cases).
+
+    ``workers=1`` runs in-process; any other value delegates to the
+    sharded process-pool runner (``0`` = one worker per CPU). Both paths
+    produce identical results and metrics.
+    """
+    if workers != 1:
+        from repro.harness.parallel import run_corpus_parallel
+
+        return run_corpus_parallel(
+            corpus, config, limit=limit, workers=workers
+        )
     cases = corpus.cases if limit is None else corpus.cases[:limit]
-    results = []
+    pool = CheckerPool(config)
+    results = [pool.run(case) for case in cases]
+    return CorpusRun(results, aggregate_metrics(results), merge_stats(results))
+
+
+def merge_stats(results: list[CaseResult]) -> EngineStats:
+    """Pool per-case engine-stat deltas into corpus totals."""
     totals = EngineStats()
-    for case in cases:
-        result = run_case(case, config)
-        results.append(result)
-        stats = result.report.engine_stats
-        totals.queries_requested += stats.queries_requested
-        totals.physical_queries += stats.physical_queries
-        totals.cube_queries += stats.cube_queries
-        totals.cache_hits += stats.cache_hits
-        totals.cache_misses += stats.cache_misses
-        totals.rows_scanned += stats.rows_scanned
-        totals.query_seconds += stats.query_seconds
-    return CorpusRun(results, aggregate_metrics(results), totals)
+    for result in results:
+        totals += result.report.engine_stats
+    return totals

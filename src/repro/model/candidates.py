@@ -66,9 +66,27 @@ class CandidateSpace:
     fn_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
     col_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
     subset_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+    #: lazily built query -> position map (see :meth:`position_index`)
+    _positions: dict[SimpleAggregateQuery, int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.queries)
+
+    def position_index(self) -> dict[SimpleAggregateQuery, int]:
+        """Candidate position by query, built once per space.
+
+        Lets result consumers (e.g. ``EvaluationOutcome.from_results``)
+        index an evaluated subset into the space without a linear scan per
+        query; built lazily because ``queries`` is materialized after
+        construction.
+        """
+        if self._positions is None or len(self._positions) != len(self.queries):
+            self._positions = {
+                query: index for index, query in enumerate(self.queries)
+            }
+        return self._positions
 
 
 def build_candidates(

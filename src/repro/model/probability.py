@@ -50,28 +50,56 @@ class EvaluationOutcome:
 
         ``results`` may be the document-wide result pool; ``scoped``
         restricts which of this claim's candidates count as evaluated
-        (None = every candidate with a result). The rounding check is
-        memoized per distinct result value — counts repeat across
-        thousands of candidates.
+        (None = every candidate with a result). Results are indexed once:
+        a single pass collects candidate positions and de-duplicated
+        result values, the rounding check runs once per distinct value,
+        and the ``evaluated``/``matches`` arrays are filled in bulk —
+        per-element ndarray writes are what made the old per-candidate
+        loop dominate EM iterations.
         """
         claimed = space.claim.claimed_value
         n = len(space)
         evaluated = np.zeros(n, dtype=bool)
         matches = np.zeros(n, dtype=bool)
-        match_cache: dict[Value, bool] = {}
+
+        positions: list[int] = []
+        value_ids: list[int] = []
+        id_of: dict[Value, int] = {}
+        distinct: list[Value] = []
         missing = object()
-        for i, query in enumerate(space.queries):
-            if scoped is not None and query not in scoped:
-                continue
-            value = results.get(query, missing)
+        results_get = results.get
+        if scoped is None:
+            pairs = enumerate(space.queries)
+        else:
+            position_of = space.position_index()
+            pairs = (
+                (position_of[query], query)
+                for query in scoped
+                if query in position_of
+            )
+        for position, query in pairs:
+            value = results_get(query, missing)
             if value is missing:
                 continue
-            evaluated[i] = True
-            cached = match_cache.get(value)
-            if cached is None:
-                cached = rounds_to(value, claimed)
-                match_cache[value] = cached
-            matches[i] = cached
+            positions.append(position)
+            value_id = id_of.get(value)
+            if value_id is None:
+                value_id = len(distinct)
+                id_of[value] = value_id
+                distinct.append(value)
+            value_ids.append(value_id)
+
+        if positions:
+            distinct_matches = np.fromiter(
+                (rounds_to(value, claimed) for value in distinct),
+                dtype=bool,
+                count=len(distinct),
+            )
+            index = np.asarray(positions, dtype=np.intp)
+            evaluated[index] = True
+            matches[index] = distinct_matches[
+                np.asarray(value_ids, dtype=np.intp)
+            ]
         return cls(results, evaluated, matches)
 
 

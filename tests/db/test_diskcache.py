@@ -1,0 +1,264 @@
+"""Tests for the persistent cube cache: fingerprints, the disk tier, and
+CSV-edit invalidation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    DiskCubeCache,
+    EngineStats,
+    ExecutionMode,
+    ForeignKey,
+    QueryEngine,
+    Table,
+    database_fingerprint,
+    load_csv,
+    parse_query,
+)
+from repro.db.cube import ALL
+
+
+def small_db(rows=None) -> Database:
+    table = Table(
+        "events",
+        [Column("kind"), Column("score", ColumnType.NUMERIC)],
+        rows
+        if rows is not None
+        else [("a", 1), ("a", 2), ("b", 3), (None, 4)],
+    )
+    return Database("d", [table])
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert database_fingerprint(small_db()) == database_fingerprint(
+            small_db()
+        )
+
+    def test_cell_edit_changes_fingerprint(self):
+        edited = small_db([("a", 1), ("a", 2), ("b", 3), (None, 5)])
+        assert database_fingerprint(small_db()) != database_fingerprint(edited)
+
+    def test_added_row_changes_fingerprint(self):
+        grown = small_db([("a", 1), ("a", 2), ("b", 3), (None, 4), ("c", 9)])
+        assert database_fingerprint(small_db()) != database_fingerprint(grown)
+
+    def test_value_type_distinguished(self):
+        as_string = small_db([("a", "1"), ("a", 2), ("b", 3), (None, 4)])
+        assert database_fingerprint(small_db()) != database_fingerprint(
+            as_string
+        )
+
+    def test_column_type_changes_fingerprint(self):
+        table = Table(
+            "events",
+            [Column("kind"), Column("score")],
+            [("a", 1), ("a", 2), ("b", 3), (None, 4)],
+        )
+        assert database_fingerprint(small_db()) != database_fingerprint(
+            Database("d", [table])
+        )
+
+    def test_foreign_keys_included(self, star_db):
+        bare = Database("sports", star_db.tables)
+        assert database_fingerprint(star_db) != database_fingerprint(bare)
+
+    def test_none_vs_empty_string_distinguished(self):
+        with_none = small_db([(None, 1)])
+        with_empty = small_db([("", 1)])
+        assert database_fingerprint(with_none) != database_fingerprint(
+            with_empty
+        )
+
+
+class TestAllMarkerPickle:
+    def test_singleton_survives_round_trip(self):
+        key = ("a", ALL, "b")
+        restored = pickle.loads(pickle.dumps(key))
+        assert restored[1] is ALL
+        assert restored == key
+
+
+def count_by_kind(db):
+    return parse_query("SELECT Count(*) FROM events WHERE kind = 'a'", db)
+
+
+class TestDiskTier:
+    def test_second_engine_serves_from_disk(self, tmp_path):
+        db = small_db()
+        cold = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        cold_results = cold.evaluate([count_by_kind(db)])
+        assert cold.stats.cube_queries == 1
+        assert cold.stats.disk_misses == 1
+        assert cold.stats.disk_hits == 0
+
+        warm = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        warm_results = warm.evaluate([count_by_kind(db)])
+        assert warm_results == cold_results
+        assert warm.stats.cube_queries == 0
+        assert warm.stats.disk_hits == 1
+        assert warm.stats.disk_misses == 0
+
+    def test_uncovered_literal_is_miss_then_merges(self, tmp_path):
+        db = small_db()
+        first = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        first.evaluate([count_by_kind(db)])
+
+        other = parse_query(
+            "SELECT Count(*) FROM events WHERE kind = 'b'", db
+        )
+        second = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        results = second.evaluate([other])
+        assert results[other] == 1
+        assert second.stats.disk_misses == 1
+        assert second.stats.cube_queries == 1
+
+        # The store merged coverage: a third engine answers both literals
+        # from disk.
+        third = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        both = third.evaluate([count_by_kind(db), other])
+        assert both[other] == 1
+        assert third.stats.cube_queries == 0
+        assert third.stats.disk_hits >= 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        db = small_db()
+        QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+            [count_by_kind(db)]
+        )
+        for path in tmp_path.glob("*.cube"):
+            path.write_bytes(b"not a pickle")
+        engine = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        results = engine.evaluate([count_by_kind(db)])
+        assert results[count_by_kind(db)] == 2
+        assert engine.stats.disk_hits == 0
+        assert engine.stats.cube_queries == 1
+
+    def test_backends_never_exchange_cells(self, tmp_path):
+        from repro.db import ExecutionBackend
+
+        db = small_db()
+        columnar = QueryEngine(
+            db,
+            backend=ExecutionBackend.COLUMNAR,
+            disk_cache=DiskCubeCache(tmp_path),
+        )
+        columnar.evaluate([count_by_kind(db)])
+        # The row-wise engine has (documented) different edge-case
+        # semantics; it must not read the columnar engine's cells.
+        row = QueryEngine(
+            db,
+            backend=ExecutionBackend.ROW,
+            disk_cache=DiskCubeCache(tmp_path),
+        )
+        row.evaluate([count_by_kind(db)])
+        assert row.stats.disk_hits == 0
+        assert row.stats.cube_queries == 1
+
+    def test_naive_mode_ignores_disk_cache(self, tmp_path):
+        db = small_db()
+        engine = QueryEngine(
+            db, ExecutionMode.NAIVE, disk_cache=DiskCubeCache(tmp_path)
+        )
+        engine.evaluate([count_by_kind(db)])
+        assert engine.stats.disk_hits == engine.stats.disk_misses == 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        db = small_db()
+        cache = DiskCubeCache(tmp_path)
+        QueryEngine(db, disk_cache=cache).evaluate([count_by_kind(db)])
+        assert list(tmp_path.glob("*.cube"))
+        cache.clear()
+        assert not list(tmp_path.glob("*.cube"))
+
+
+class TestCsvInvalidation:
+    CSV = "kind,score\na,1\na,2\nb,3\n"
+
+    def _database(self, csv_path):
+        return Database("d", [load_csv(csv_path, "events")])
+
+    def test_edited_csv_forces_reexecution(self, tmp_path):
+        csv_path = tmp_path / "events.csv"
+        cache_dir = tmp_path / "cache"
+        csv_path.write_text(self.CSV)
+
+        db = self._database(csv_path)
+        engine = QueryEngine(db, disk_cache=DiskCubeCache(cache_dir))
+        assert engine.evaluate([count_by_kind(db)])[count_by_kind(db)] == 2
+
+        # The data changes: another 'a' row lands in the CSV.
+        csv_path.write_text(self.CSV + "a,9\n")
+        updated = self._database(csv_path)
+        fresh = QueryEngine(updated, disk_cache=DiskCubeCache(cache_dir))
+        query = count_by_kind(updated)
+        # New fingerprint: the stale cached cell (2) must not be served.
+        assert fresh.evaluate([query])[query] == 3
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.disk_misses == 1
+        assert fresh.stats.cube_queries == 1
+
+    def test_unchanged_csv_reuses_cache(self, tmp_path):
+        csv_path = tmp_path / "events.csv"
+        cache_dir = tmp_path / "cache"
+        csv_path.write_text(self.CSV)
+        first = self._database(csv_path)
+        QueryEngine(first, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+            [count_by_kind(first)]
+        )
+        # Re-reading the identical file yields the same fingerprint.
+        again = self._database(csv_path)
+        engine = QueryEngine(again, disk_cache=DiskCubeCache(cache_dir))
+        engine.evaluate([count_by_kind(again)])
+        assert engine.stats.disk_hits == 1
+        assert engine.stats.cube_queries == 0
+
+
+class TestEngineStatsMerge:
+    def _distinct(self, start: int) -> EngineStats:
+        from dataclasses import fields
+
+        stats = EngineStats()
+        for offset, spec in enumerate(fields(EngineStats)):
+            setattr(stats, spec.name, start + offset)
+        return stats
+
+    def test_merge_covers_every_field(self):
+        from dataclasses import fields
+
+        merged = self._distinct(10).merge(self._distinct(100))
+        for offset, spec in enumerate(fields(EngineStats)):
+            assert getattr(merged, spec.name) == 110 + 2 * offset
+
+    def test_iadd_and_copy(self):
+        total = EngineStats()
+        part = self._distinct(1)
+        snapshot = part.copy()
+        total += part
+        assert total == part == snapshot
+        assert total is not part
+
+    def test_diff_recovers_delta(self):
+        before = self._distinct(5)
+        after = self._distinct(5).merge(self._distinct(2))
+        delta = after.diff(before)
+        assert delta == self._distinct(2)
+
+    def test_reset_restores_defaults(self):
+        stats = self._distinct(3)
+        stats.reset()
+        assert stats == EngineStats()
+
+    def test_hit_rates(self):
+        stats = EngineStats(cache_hits=3, cache_misses=1, disk_hits=9,
+                            disk_misses=1)
+        assert stats.cache_hit_rate() == pytest.approx(0.75)
+        assert stats.disk_hit_rate() == pytest.approx(0.9)
+        assert EngineStats().cache_hit_rate() == 0.0
+        assert EngineStats().disk_hit_rate() == 0.0

@@ -1,0 +1,181 @@
+"""Determinism and sharding tests for the parallel corpus pipeline.
+
+The contract under test: a parallel run at any worker count produces
+bit-identical metrics and per-case verdicts to the sequential run, and a
+warm-disk-cache run matches a cold run — caching and sharding are pure
+performance levers, never behavior changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+
+from repro.core.config import AggCheckerConfig
+from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
+from repro.db.engine import EngineStats
+from repro.harness import CheckerPool, run_corpus, run_corpus_parallel, shard_cases
+from repro.harness.ablations import model_ladder, run_ladder
+from repro.harness.parallel import resolve_workers
+
+#: RunMetrics fields that must match bit-for-bit between pipeline shapes
+#: (total_seconds is wall-clock and excluded by nature).
+METRIC_FIELDS = (
+    "n_claims",
+    "n_erroneous",
+    "n_flagged",
+    "true_positives",
+    "coverage_counts",
+    "coverage_counts_correct",
+    "coverage_counts_incorrect",
+    "n_correct_claims",
+)
+
+
+def verdict_signature(run):
+    return [
+        [(v.status, v.top_query, v.top_result) for v in result.report.verdicts]
+        for result in run.results
+    ]
+
+
+def assert_identical_runs(left, right):
+    assert verdict_signature(left) == verdict_signature(right)
+    for name in METRIC_FIELDS:
+        assert getattr(left.metrics, name) == getattr(right.metrics, name), name
+    for spec in fields(EngineStats):
+        if spec.name == "query_seconds":  # wall-clock, not a counter
+            continue
+        assert getattr(left.engine_stats, spec.name) == getattr(
+            right.engine_stats, spec.name
+        ), spec.name
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(n_articles=4, seed=77))
+
+
+@pytest.fixture(scope="module")
+def sequential(corpus):
+    return run_corpus(corpus)
+
+
+class TestShardCases:
+    def test_groups_stay_whole_and_deterministic(self, corpus):
+        cases = corpus.cases + corpus.cases  # every database appears twice
+        shards = shard_cases(cases, 3)
+        assert shards == shard_cases(cases, 3)
+        assert sorted(i for shard in shards for i in shard) == list(
+            range(len(cases))
+        )
+        for shard in shards:
+            databases = {id(cases[i].database) for i in shard}
+            # A database's cases never split across shards.
+            for other in shards:
+                if other is shard:
+                    continue
+                assert not databases & {id(cases[i].database) for i in other}
+
+    def test_balanced_within_group_size(self, corpus):
+        shards = shard_cases(corpus.cases, 2)
+        sizes = [len(shard) for shard in shards]
+        assert abs(sizes[0] - sizes[1]) <= 1
+
+    def test_more_shards_than_cases(self, corpus):
+        shards = shard_cases(corpus.cases[:2], 8)
+        assert len(shards) == 2
+
+    def test_invalid_shard_count(self, corpus):
+        with pytest.raises(ValueError):
+            shard_cases(corpus.cases, 0)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestParallelDeterminism:
+    def test_two_workers_match_sequential(self, corpus, sequential):
+        parallel = run_corpus(corpus, workers=2)
+        assert_identical_runs(sequential, parallel)
+
+    def test_worker_count_capped_by_shards(self, corpus, sequential):
+        # More workers than cases: shards collapse, results unchanged.
+        parallel = run_corpus_parallel(corpus, limit=2, workers=6)
+        reference = run_corpus(corpus, limit=2)
+        assert_identical_runs(reference, parallel)
+
+    def test_single_worker_falls_back_in_process(self, corpus, sequential):
+        assert_identical_runs(sequential, run_corpus_parallel(corpus, workers=1))
+
+
+class TestDiskCacheDeterminism:
+    def test_warm_run_matches_cold_run(self, corpus, tmp_path, sequential):
+        config = AggCheckerConfig(cache_dir=str(tmp_path))
+        cold = run_corpus(corpus, config, limit=2)
+        warm = run_corpus(corpus, config, limit=2)
+        reference = run_corpus(corpus, limit=2)
+
+        assert verdict_signature(cold) == verdict_signature(reference)
+        assert verdict_signature(warm) == verdict_signature(reference)
+        for name in METRIC_FIELDS:
+            assert getattr(warm.metrics, name) == getattr(
+                cold.metrics, name
+            ), name
+        # The cold run wrote every cube; the warm run executed none.
+        assert cold.engine_stats.disk_hits == 0
+        assert cold.engine_stats.disk_misses > 0
+        assert warm.engine_stats.cube_queries == 0
+        assert warm.engine_stats.disk_hit_rate() >= 0.9
+
+
+class TestCheckerPool:
+    def test_checker_reused_per_database(self):
+        case = nfl_suspensions_case()
+        pool = CheckerPool()
+        first = pool.run(case)
+        assert len(pool) == 1
+        second = pool.run(case)
+        assert len(pool) == 1
+        assert [e.flagged for e in first.evaluations] == [
+            e.flagged for e in second.evaluations
+        ]
+        # Second pass over the same database is served from the engine's
+        # result cache: no new physical queries.
+        assert second.report.engine_stats.physical_queries == 0
+        assert second.report.engine_stats.cache_hits > 0
+
+    def test_distinct_databases_get_distinct_checkers(self):
+        pool = CheckerPool()
+        pool.run(nfl_suspensions_case())
+        pool.run(nfl_suspensions_case(stale=True))
+        assert len(pool) == 2
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_report_stats_are_per_document_deltas(self):
+        case = nfl_suspensions_case()
+        pool = CheckerPool()
+        first = pool.run(case)
+        second = pool.run(case)
+        checker = pool.checker_for(case)
+        totals = EngineStats()
+        totals.merge(first.report.engine_stats)
+        totals.merge(second.report.engine_stats)
+        assert totals == checker.engine.stats
+
+
+class TestRunLadder:
+    def test_ladder_shares_cache_dir(self, corpus, tmp_path):
+        ladder = model_ladder()[-1:]
+        first = run_ladder(ladder, corpus, limit=1, cache_dir=str(tmp_path))
+        again = run_ladder(ladder, corpus, limit=1, cache_dir=str(tmp_path))
+        assert first[0][0] == again[0][0]
+        assert verdict_signature(first[0][1]) == verdict_signature(again[0][1])
+        assert first[0][1].engine_stats.disk_misses > 0
+        assert again[0][1].engine_stats.disk_hit_rate() >= 0.9

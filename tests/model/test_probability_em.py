@@ -211,3 +211,83 @@ class TestQueryAndLearn:
         for distribution in result.distributions.values():
             if distribution.outcome is not None:
                 assert distribution.outcome.evaluated.sum() <= 50 * 3
+
+
+def reference_outcome(space, results, scoped=None):
+    """The pre-vectorization per-candidate loop, kept as a test oracle."""
+    from repro.nlp.numbers import rounds_to
+
+    claimed = space.claim.claimed_value
+    n = len(space)
+    evaluated = np.zeros(n, dtype=bool)
+    matches = np.zeros(n, dtype=bool)
+    missing = object()
+    for i, query in enumerate(space.queries):
+        if scoped is not None and query not in scoped:
+            continue
+        value = results.get(query, missing)
+        if value is missing:
+            continue
+        evaluated[i] = True
+        matches[i] = rounds_to(value, claimed)
+    return evaluated, matches
+
+
+class TestFromResultsVectorized:
+    """The bulk-indexed ``from_results`` must match the per-candidate loop."""
+
+    def _assert_matches_reference(self, space, results, scoped=None):
+        outcome = EvaluationOutcome.from_results(space, results, scoped)
+        evaluated, matches = reference_outcome(space, results, scoped)
+        assert np.array_equal(outcome.evaluated, evaluated)
+        assert np.array_equal(outcome.matches, matches)
+
+    def test_full_pool(self, pipeline):
+        _, _, claims, spaces, engine = pipeline
+        for claim in claims:
+            space = spaces[claim]
+            results = engine.evaluate(space.queries)
+            self._assert_matches_reference(space, results)
+
+    def test_partial_pool_and_scoped_subset(self, pipeline):
+        _, _, claims, spaces, engine = pipeline
+        space = spaces[claims[0]]
+        results = engine.evaluate(space.queries[::3])
+        self._assert_matches_reference(space, results)
+        scoped = set(space.queries[::5]) | {space.queries[1]}
+        self._assert_matches_reference(space, results, scoped)
+
+    def test_scoped_query_outside_space_ignored(self, pipeline):
+        db, _, claims, spaces, engine = pipeline
+        space = spaces[claims[0]]
+        foreign = parse_query(
+            "SELECT Sum(Year) FROM nflsuspensions WHERE Team = 'BAL'", db
+        )
+        results = dict(engine.evaluate(space.queries[:20]))
+        results[foreign] = 123.0
+        self._assert_matches_reference(space, results, set(space.queries[:20]) | {foreign})
+
+    def test_odd_values(self, pipeline):
+        _, _, claims, spaces, _ = pipeline
+        space = spaces[claims[0]]
+        values = [None, float("nan"), 4, 4.0, -1, float("inf"), 3.9999]
+        results = {
+            query: values[i % len(values)]
+            for i, query in enumerate(space.queries)
+        }
+        self._assert_matches_reference(space, results)
+
+    def test_empty_results(self, pipeline):
+        _, _, claims, spaces, _ = pipeline
+        space = spaces[claims[0]]
+        self._assert_matches_reference(space, {})
+        self._assert_matches_reference(space, {}, set())
+
+    def test_position_index_covers_space(self, pipeline):
+        _, _, claims, spaces, _ = pipeline
+        space = spaces[claims[0]]
+        index = space.position_index()
+        assert len(index) == len(space)
+        assert index is space.position_index()  # cached
+        for position, query in enumerate(space.queries):
+            assert index[query] == position
