@@ -3,6 +3,12 @@
 Wires together: fragment extraction and indexing (once per database),
 claim detection, keyword matching, candidate construction, EM inference
 with massive-scale evaluation, and verdict generation.
+
+Candidate spaces flow through inference *factorized* (see
+``repro.model.candidates`` and ARCHITECTURE.md "Evaluation data path"):
+the engine answers them by cell gather and per-candidate query objects
+materialize lazily, only where verdicts, top-k suggestions, or the
+interactive session need them.
 """
 
 from __future__ import annotations

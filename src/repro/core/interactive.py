@@ -116,9 +116,12 @@ class InteractiveSession:
         self, claim: Claim, query: SimpleAggregateQuery, feature: ResolutionFeature
     ) -> Resolution:
         distribution = self.report.verdict_for(claim).distribution
+        # On the factorized evaluation path this consults the claim's own
+        # candidate results; queries outside the claim's space (e.g.
+        # another claim's candidate) fall through to the engine below.
         evaluated = (
             distribution.outcome is not None
-            and query in distribution.outcome.evaluations
+            and distribution.outcome.is_evaluated(distribution.space, query)
         )
         if evaluated:
             result = distribution.result_of(query)

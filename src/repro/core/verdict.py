@@ -53,15 +53,21 @@ class ClaimVerdict:
 
 
 def make_verdict(claim: Claim, distribution: ClaimDistribution) -> ClaimVerdict:
-    """Derive the tentative verdict from a claim's query distribution."""
-    top_query = distribution.top_query()
-    if top_query is None:
+    """Derive the tentative verdict from a claim's query distribution.
+
+    Works position-first: only the single most likely candidate is
+    materialized into a query object — the rest of the (factorized) space
+    is never touched.
+    """
+    position = distribution.top_position()
+    if position is None:
         return ClaimVerdict(
             claim, VerdictStatus.UNRESOLVED, None, None, 0.0, distribution
         )
-    top_result = distribution.result_of(top_query)
+    top_query = distribution.space.query_at(position)
+    top_result = distribution.result_at(position)
     probability_correct = distribution.probability_correct()
-    if distribution.outcome is None or not distribution.outcome.evaluations:
+    if distribution.outcome is None or not distribution.outcome.has_results():
         # Without evaluations there is nothing to compare against.
         return ClaimVerdict(
             claim,

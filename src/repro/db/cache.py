@@ -14,20 +14,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.db.aggregates import AggregateFunction
 from repro.db.cube import CellKey
 from repro.db.query import AggregateSpec, ColumnRef
 from repro.db.values import Value
 
 CacheKey = tuple[frozenset[str], AggregateSpec, tuple[ColumnRef, ...]]
 
+#: Aggregates whose empty-group cells are 0 rather than NULL.
+_ZERO_ON_EMPTY = (AggregateFunction.COUNT, AggregateFunction.COUNT_DISTINCT)
+
 
 @dataclass
 class CacheEntry:
-    """Cells of one aggregate over one dimension set."""
+    """Cells of one aggregate over one dimension set.
 
+    The entry knows its aggregate spec so consumers (the per-query answer
+    path and the cell-gather kernels alike) can resolve empty-group cells
+    through one place: :meth:`lookup` applies SQL semantics for groups the
+    cube never produced (counts are 0, every other aggregate is NULL).
+    """
+
+    spec: AggregateSpec
     dimensions: tuple[ColumnRef, ...]
     literals: dict[ColumnRef, set[str]]
     cells: dict[CellKey, Value]
+
+    def empty_value(self) -> Value:
+        """Value of a cell for an empty group under this entry's spec."""
+        return 0 if self.spec.function in _ZERO_ON_EMPTY else None
+
+    def lookup(self, key: CellKey) -> Value:
+        """Cell value for ``key`` with the empty-group default applied."""
+        return self.cells.get(key, self.empty_value())
 
     def covers(self, literal_map: dict[ColumnRef, frozenset[str]]) -> bool:
         """True if every requested literal already has cells."""
@@ -95,6 +114,7 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             entry = CacheEntry(
+                spec,
                 dimensions,
                 {dim: set(literals) for dim, literals in literal_map.items()},
                 dict(cells),

@@ -19,10 +19,21 @@ from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
 from repro.db.aggregates import AggregateFunction, ratio_value
-from repro.db.cache import ResultCache
+from repro.db.cache import CacheEntry, ResultCache
 from repro.db.columnar import ExecutionBackend
 from repro.db.cube import ALL, CubeQuery, CubeResult, execute_cube
 from repro.db.executor import execute_query
+from repro.db.gather import (
+    SpaceEvalRequest,
+    SpaceResults,
+    answer_candidates,
+    as_int_list,
+    flatnonzero,
+    full_mask,
+    map_ints,
+    select_where,
+    unique_values,
+)
 from repro.db.joins import JoinGraph
 from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
 from repro.db.schema import Database
@@ -67,6 +78,11 @@ class EngineStats:
     pooled (corpus totals, parallel-shard merging, per-document deltas).
     """
 
+    #: Logical evaluation requests. The per-query path counts distinct
+    #: queries after cross-claim dedup; the factorized space path counts
+    #: per candidate per claim (a query shared by two claims counts
+    #: twice) — materializing queries just to dedup a counter would
+    #: defeat the zero-materialization path.
     queries_requested: int = 0
     physical_queries: int = 0
     cube_queries: int = 0
@@ -76,6 +92,9 @@ class EngineStats:
     disk_misses: int = 0
     rows_scanned: int = 0
     query_seconds: float = 0.0
+    #: Candidates answered by the factorized cell-gather path (no
+    #: per-candidate query objects were materialized for these).
+    gathered_candidates: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -185,6 +204,153 @@ class QueryEngine:
         return self._evaluate_merged(batch, cache)
 
     # ------------------------------------------------------------------
+    # Factorized space path (zero materialization)
+    # ------------------------------------------------------------------
+
+    def evaluate_space(self, space, mask=None) -> SpaceResults:
+        """Answer one claim's factorized candidate space.
+
+        ``mask`` selects candidates (bool per candidate; None = the whole
+        space). No ``SimpleAggregateQuery`` objects are built on this path
+        (except in NAIVE mode, the per-query reference): candidates are
+        answered from cube cells by integer gather, and the returned
+        :class:`~repro.db.gather.SpaceResults` carries one compact value
+        id per candidate.
+        """
+        results = SpaceResults.for_space(space)
+        if mask is None:
+            mask = full_mask(len(space))
+        self.evaluate_spaces([SpaceEvalRequest(space, mask, results)])
+        return results
+
+    def evaluate_spaces(self, requests: Sequence[SpaceEvalRequest]) -> None:
+        """Batch-answer several candidate spaces, sharing cube work.
+
+        The batch is decomposed exactly like :meth:`evaluate` — literals
+        pooled across the whole batch, candidates grouped by base-relation
+        table set, covering cube dimension sets chosen per group — so the
+        physical work (cube queries, cache traffic) is identical to the
+        per-query path. Each request's ``results`` is filled in place.
+        """
+        active: list[tuple[SpaceEvalRequest, object]] = []
+        total = 0
+        for request in requests:
+            positions = flatnonzero(request.mask)
+            if len(positions) == 0:
+                continue
+            total += len(positions)
+            active.append((request, positions))
+        self.stats.queries_requested += total
+        if not active:
+            return
+
+        if self.mode is ExecutionMode.NAIVE:
+            self._evaluate_spaces_naive(active)
+            return
+        cache = self.cache if self.mode is ExecutionMode.MERGED_CACHED else ResultCache()
+
+        # Literals of interest per column: union across the whole batch
+        # (paper Section 6.3 pools literals over all claims).
+        literal_union: dict[ColumnRef, set[str]] = {}
+        for request, positions in active:
+            encoding = request.space.encoding()
+            encoding.add_literals(
+                request.space.subset_index[positions], literal_union
+            )
+
+        # Group candidate slices by base-relation table set.
+        table_groups: dict[frozenset[str], list] = {}
+        for request, positions in active:
+            encoding = request.space.encoding()
+            table_ids = encoding.tables_id[positions]
+            for tid in unique_values(table_ids):
+                tables = encoding.table_sets[tid]
+                if not tables:
+                    tables = frozenset({self.database.single_table().name})
+                table_groups.setdefault(tables, []).append(
+                    (request, select_where(positions, table_ids, tid), encoding)
+                )
+
+        for tables, slices in table_groups.items():
+            self._evaluate_space_group(tables, slices, literal_union, cache)
+
+    def _evaluate_spaces_naive(self, active) -> None:
+        """NAIVE-mode reference: one physical query per distinct candidate."""
+        missing = object()
+        memo: dict[SimpleAggregateQuery, Value] = {}
+        for request, positions in active:
+            results = request.results
+            for position in as_int_list(positions):
+                query = request.space.query_at(position)
+                value = memo.get(query, missing)
+                if value is missing:
+                    value = self._execute_naive(query)
+                    memo[query] = value
+                results.set_value(position, value)
+
+    def _evaluate_space_group(
+        self,
+        tables: frozenset[str],
+        slices: list,
+        literal_union: dict[ColumnRef, set[str]],
+        cache: ResultCache,
+    ) -> None:
+        """Answer all candidate slices sharing one base relation."""
+        column_sets: set[frozenset[ColumnRef]] = set()
+        for request, positions, encoding in slices:
+            column_sets.update(
+                encoding.column_sets_used(request.space.subset_index[positions])
+            )
+        assignment = self._cover_assignment(column_sets)
+
+        dims_groups: dict[frozenset[ColumnRef], list] = {}
+        for request, positions, encoding in slices:
+            subset_ids = request.space.subset_index[positions]
+            dims_of = {
+                si: assignment[encoding.subset_col_sets[si]]
+                for si in unique_values(subset_ids)
+            }
+            distinct = list(dict.fromkeys(dims_of.values()))
+            if len(distinct) == 1:
+                dims_groups.setdefault(distinct[0], []).append(
+                    (request, positions, encoding)
+                )
+                continue
+            dim_id_of = {dims: index for index, dims in enumerate(distinct)}
+            subset_dim = {si: dim_id_of[dims] for si, dims in dims_of.items()}
+            candidate_dim = map_ints(
+                subset_ids, subset_dim, len(request.space.subsets)
+            )
+            for dims in distinct:
+                sub_positions = select_where(
+                    positions, candidate_dim, dim_id_of[dims]
+                )
+                dims_groups.setdefault(dims, []).append(
+                    (request, sub_positions, encoding)
+                )
+
+        for dims, group_slices in dims_groups.items():
+            ordered_dims = tuple(sorted(dims))
+            literal_map = {
+                dim: frozenset(literal_union.get(dim, set()))
+                for dim in ordered_dims
+            }
+            specs = set()
+            for request, positions, encoding in group_slices:
+                specs.update(
+                    encoding.basis_specs[sid]
+                    for sid in unique_values(encoding.basis_spec_id[positions])
+                )
+            entries = self._cells_for(
+                tables, ordered_dims, literal_map, specs, cache
+            )
+            for request, positions, encoding in group_slices:
+                answer_candidates(
+                    request.results, request.space, positions, ordered_dims, entries
+                )
+                self.stats.gathered_candidates += len(positions)
+
+    # ------------------------------------------------------------------
     # Naive path
     # ------------------------------------------------------------------
 
@@ -248,18 +414,26 @@ class QueryEngine:
                 for dim in ordered_dims
             }
             specs = {_basis_spec(query) for query in queries}
-            cells_by_spec = self._cells_for(
+            entries = self._cells_for(
                 tables, ordered_dims, literal_map, specs, cache
             )
             for query in queries:
-                results[query] = self._answer(query, ordered_dims, cells_by_spec)
+                results[query] = self._answer(query, ordered_dims, entries)
 
     def _cover_dim_sets(
         self, group: Sequence[SimpleAggregateQuery]
     ) -> dict[frozenset[ColumnRef], frozenset[ColumnRef]]:
         """Map each query's predicate-column set to a covering dim set."""
+        return self._cover_assignment(
+            frozenset(q.predicate_columns) for q in group
+        )
+
+    def _cover_assignment(
+        self, column_sets: Iterable[frozenset[ColumnRef]]
+    ) -> dict[frozenset[ColumnRef], frozenset[ColumnRef]]:
+        """Choose covering cube dimension sets for predicate-column sets."""
         column_sets = sorted(
-            {frozenset(q.predicate_columns) for q in group},
+            set(column_sets),
             key=lambda s: (-len(s), sorted(str(c) for c in s)),
         )
         if self.cover_strategy is CubeCoverStrategy.PAPER:
@@ -319,8 +493,8 @@ class QueryEngine:
         literal_map: dict[ColumnRef, frozenset[str]],
         specs: set[AggregateSpec],
         cache: ResultCache,
-    ) -> dict[AggregateSpec, dict]:
-        cells_by_spec: dict[AggregateSpec, dict] = {}
+    ) -> dict[AggregateSpec, CacheEntry]:
+        entries: dict[AggregateSpec, CacheEntry] = {}
         missing: list[AggregateSpec] = []
         # Accumulate hit/miss *deltas*: in MERGED mode a fresh ResultCache is
         # created per evaluate() call, so copying the cache's own counters
@@ -334,7 +508,7 @@ class QueryEngine:
                     cache, tables, spec, dims, literal_map
                 )
             if entry is not None:
-                cells_by_spec[spec] = entry.cells
+                entries[spec] = entry
             else:
                 missing.append(spec)
         self.stats.cache_hits += cache.stats.hits - hits_before
@@ -355,7 +529,7 @@ class QueryEngine:
             for spec in missing:
                 cells = result.cells_for(spec)
                 entry = cache.put(tables, spec, dims, literal_map, cells)
-                cells_by_spec[spec] = entry.cells
+                entries[spec] = entry
                 if self.disk_cache is not None:
                     self.disk_cache.store(
                         self.database_fingerprint,
@@ -366,7 +540,7 @@ class QueryEngine:
                         entry.literals,
                         entry.cells,
                     )
-        return cells_by_spec
+        return entries
 
     def _load_from_disk(
         self,
@@ -402,45 +576,35 @@ class QueryEngine:
         self,
         query: SimpleAggregateQuery,
         dims: tuple[ColumnRef, ...],
-        cells_by_spec: dict[AggregateSpec, dict],
+        entries: dict[AggregateSpec, CacheEntry],
     ) -> Value:
-        spec = _basis_spec(query)
-        cells = cells_by_spec[spec]
+        entry = entries[_basis_spec(query)]
         assignment = {
             predicate.column: predicate.normalized_value
             for predicate in query.all_predicates
         }
-        numerator = self._cell_value(cells, dims, assignment, spec)
+        numerator = self._cell_value(entry, dims, assignment)
         fn = query.aggregate.function
         if not fn.is_ratio:
             return numerator
         if fn is AggregateFunction.PERCENTAGE:
-            denominator = self._cell_value(cells, dims, {}, spec)
+            denominator = self._cell_value(entry, dims, {})
         else:  # CONDITIONAL_PROBABILITY
             assert query.condition is not None
             condition_only = {
                 query.condition.column: query.condition.normalized_value
             }
-            denominator = self._cell_value(cells, dims, condition_only, spec)
+            denominator = self._cell_value(entry, dims, condition_only)
         return ratio_value(numerator, denominator)
 
     def _cell_value(
         self,
-        cells: dict,
+        entry: CacheEntry,
         dims: tuple[ColumnRef, ...],
         assignment: dict[ColumnRef, str],
-        spec: AggregateSpec,
     ) -> Value:
-        key = tuple(assignment.get(dim, ALL) for dim in dims)
-        if key in cells:
-            return cells[key]
-        # Empty group: counts are 0, other aggregates NULL.
-        if spec.function in (
-            AggregateFunction.COUNT,
-            AggregateFunction.COUNT_DISTINCT,
-        ):
-            return 0
-        return None
+        # Empty groups resolve through the entry: counts 0, others NULL.
+        return entry.lookup(tuple(assignment.get(dim, ALL) for dim in dims))
 
     def _query_tables(self, query: SimpleAggregateQuery) -> frozenset[str]:
         tables = query.referenced_tables()

@@ -5,16 +5,32 @@ All scoped candidates of *all* claims are submitted to the query engine in
 one batch: the engine merges them into a small number of cube queries and
 caches cells across claims and EM iterations — exactly the sharing
 structure the paper exploits (Sections 6.2-6.3).
+
+Two implementations share that batching structure:
+
+- :func:`refine_by_eval_space` (the default): claims stay factorized end
+  to end. Each claim contributes a scope *mask* over its candidate space;
+  the engine answers the spaces by cell gather
+  (``QueryEngine.evaluate_spaces``), and iteration-to-iteration reuse is
+  carried as per-claim :class:`~repro.db.gather.SpaceResults` (value-id
+  arrays) instead of a ``dict[SimpleAggregateQuery, Value]``.
+- :func:`refine_by_eval` (the per-query oracle): materializes candidate
+  queries and evaluates them through ``QueryEngine.evaluate``. Kept as
+  the bit-identical reference implementation and for the Table 6 ladder's
+  historical measurements.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.db.engine import QueryEngine
+from repro.db.gather import SpaceEvalRequest, SpaceResults
 from repro.db.query import SimpleAggregateQuery
 from repro.db.values import Value
-from repro.evalexec.scope import ScopeConfig, pick_scope
+from repro.evalexec.scope import ScopeConfig, pick_scope, scope_mask
 from repro.text.claims import Claim
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with model
@@ -42,7 +58,10 @@ def refine_by_eval(
     full_scope = config.max_evaluations_per_claim is None
 
     scoped: dict[Claim, list[SimpleAggregateQuery]] = {}
-    to_evaluate: set[SimpleAggregateQuery] = set()
+    # Insertion-ordered dict, not a set: the engine's batch order (and with
+    # it cube literal grouping) must not depend on string-hash
+    # randomization across interpreter runs.
+    to_evaluate: dict[SimpleAggregateQuery, None] = {}
     for claim, space in spaces.items():
         if full_scope:
             queries = space.queries
@@ -52,7 +71,9 @@ def refine_by_eval(
                 log_scores = preliminary[claim].log_scores
             queries = pick_scope(space, log_scores, config)
         scoped[claim] = queries
-        to_evaluate.update(q for q in queries if q not in known)
+        for query in queries:
+            if query not in known:
+                to_evaluate[query] = None
 
     if to_evaluate:
         known.update(engine.evaluate(to_evaluate))
@@ -64,3 +85,56 @@ def refine_by_eval(
             space, known, scoped=restriction
         )
     return outcomes
+
+
+def refine_by_eval_space(
+    spaces: "dict[Claim, CandidateSpace]",
+    preliminary: "dict[Claim, ClaimDistribution] | None",
+    engine: QueryEngine,
+    scope_config: ScopeConfig | None = None,
+    carried: dict[Claim, SpaceResults] | None = None,
+) -> "dict[Claim, EvaluationOutcome]":
+    """RefineByEval over factorized spaces (no query materialization).
+
+    ``carried`` maps claims to :class:`~repro.db.gather.SpaceResults`
+    reused across EM iterations: candidates already answered in an earlier
+    iteration keep their value ids and only newly scoped ones reach the
+    engine. Pass None to re-evaluate from scratch (the Table 6
+    "no result reuse" rungs).
+    """
+    from repro.model.probability import EvaluationOutcome
+
+    config = scope_config or ScopeConfig()
+    full_scope = config.max_evaluations_per_claim is None
+
+    requests: list[SpaceEvalRequest] = []
+    masks: dict[Claim, np.ndarray] = {}
+    held: dict[Claim, SpaceResults] = {}
+    for claim, space in spaces.items():
+        log_scores = None
+        if (
+            not full_scope
+            and preliminary is not None
+            and claim in preliminary
+        ):
+            log_scores = preliminary[claim].log_scores
+        mask = scope_mask(space, log_scores, config)
+        results = carried.get(claim) if carried is not None else None
+        if results is None:
+            results = SpaceResults.for_space(space)
+            if carried is not None:
+                carried[claim] = results
+        need = mask & ~np.asarray(results.evaluated_mask())
+        requests.append(SpaceEvalRequest(space, need, results))
+        masks[claim] = mask
+        held[claim] = results
+
+    engine.evaluate_spaces(requests)
+
+    pool_nonempty = any(results.any_evaluated() for results in held.values())
+    return {
+        claim: EvaluationOutcome.from_value_ids(
+            spaces[claim], held[claim], masks[claim], pool_nonempty
+        )
+        for claim in spaces
+    }

@@ -34,7 +34,11 @@ def pick_scope(
     preliminary_log_scores: np.ndarray | None,
     config: ScopeConfig | None = None,
 ) -> list[SimpleAggregateQuery]:
-    """Queries worth evaluating for one claim, most promising first."""
+    """Queries worth evaluating for one claim, most promising first.
+
+    Materializes query objects; the factorized evaluation path uses
+    :func:`scope_mask` instead and never builds them.
+    """
     config = config or ScopeConfig()
     budget = config.max_evaluations_per_claim
     if budget is None or budget >= len(space):
@@ -43,3 +47,24 @@ def pick_scope(
         return list(space.queries)[:budget]
     order = np.argsort(-preliminary_log_scores, kind="stable")[:budget]
     return [space.queries[i] for i in order]
+
+
+def scope_mask(
+    space: CandidateSpace,
+    preliminary_log_scores: np.ndarray | None,
+    config: ScopeConfig | None = None,
+) -> np.ndarray:
+    """Boolean candidate mask selecting the same scope as
+    :func:`pick_scope`, without materializing any queries."""
+    config = config or ScopeConfig()
+    n = len(space)
+    budget = config.max_evaluations_per_claim
+    if budget is None or budget >= n:
+        return np.ones(n, dtype=bool)
+    mask = np.zeros(n, dtype=bool)
+    if preliminary_log_scores is None or len(preliminary_log_scores) != n:
+        mask[:budget] = True
+        return mask
+    order = np.argsort(-preliminary_log_scores, kind="stable")[:budget]
+    mask[order] = True
+    return mask

@@ -8,7 +8,12 @@ additionally choose which predicate is the condition.
 
 The space is stored factorized (function x column x predicate-subset index
 arrays) so the EM loop can re-score tens of thousands of candidates per
-claim with a handful of numpy operations.
+claim with a handful of numpy operations. The factorized form is also the
+*evaluation currency*: :class:`SpaceEncoding` exposes per-dimension
+literal-code vectors that let the query engine answer the whole space from
+cube cells by integer gather (:mod:`repro.db.gather`), and real
+``SimpleAggregateQuery`` objects materialize lazily — only the top-k /
+verdict / reporting / interactive paths ever build them.
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ from itertools import combinations
 import numpy as np
 
 from repro.db.aggregates import AggregateFunction
-from repro.db.query import AggregateSpec, SimpleAggregateQuery
+from repro.db.cube import ALL
+from repro.db.gather import KIND_CONDITIONAL, KIND_PERCENTAGE, KIND_PLAIN
+from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery
 from repro.fragments.fragments import (
     ColumnFragment,
     FunctionFragment,
@@ -49,9 +56,248 @@ class CandidateConfig:
     include_conditional_probability: bool = True
 
 
+class SpaceEncoding:
+    """Integer view of one candidate space for cell-gather evaluation.
+
+    Everything a query engine needs to answer candidates without
+    materializing them:
+
+    - ``pred_columns`` / ``literals``: the space's predicate columns and,
+      per column, its distinct normalized literals (sorted);
+    - ``subset_codes``: per predicate subset, one literal code per
+      predicate column (0 = that column unrestricted) — the
+      per-dimension literal-code vector a cube cell key maps onto;
+    - ``tables_id`` / ``table_sets``: base-relation table set per
+      candidate (empty set = the database's single table);
+    - ``basis_spec_id`` / ``basis_specs``: the cube-computable aggregate
+      backing each candidate (ratio functions share their column's COUNT);
+    - ``fn_kind``: per function fragment, how candidate values derive from
+      basis cells (:data:`~repro.db.gather.KIND_PLAIN` /
+      ``KIND_PERCENTAGE`` / ``KIND_CONDITIONAL``);
+    - ``cond_pair_id`` / ``cond_pairs``: per candidate, the (column,
+      literal-code) pair of its condition predicate (-1 = no condition).
+    """
+
+    __slots__ = (
+        "pred_columns",
+        "col_pos",
+        "literals",
+        "subset_codes",
+        "subset_col_sets",
+        "table_sets",
+        "tables_id",
+        "basis_specs",
+        "basis_spec_id",
+        "fn_kind",
+        "cond_pairs",
+        "cond_pair_id",
+    )
+
+    def __init__(self, space: "CandidateSpace") -> None:
+        subsets = space.subsets
+        self.pred_columns: list[ColumnRef] = sorted(
+            {fragment.column for subset in subsets for fragment in subset}
+        )
+        self.col_pos = {column: j for j, column in enumerate(self.pred_columns)}
+        literal_sets: list[set[str]] = [set() for _ in self.pred_columns]
+        for subset in subsets:
+            for fragment in subset:
+                literal_sets[self.col_pos[fragment.column]].add(
+                    fragment.predicate.normalized_value
+                )
+        self.literals = [sorted(values) for values in literal_sets]
+        literal_code = [
+            {literal: code + 1 for code, literal in enumerate(column_literals)}
+            for column_literals in self.literals
+        ]
+
+        n_subsets = len(subsets)
+        self.subset_codes = np.zeros(
+            (n_subsets, len(self.pred_columns)), dtype=np.int32
+        )
+        self.subset_col_sets: list[frozenset[ColumnRef]] = []
+        subset_tables: list[frozenset[str]] = []
+        for si, subset in enumerate(subsets):
+            self.subset_col_sets.append(
+                frozenset(fragment.column for fragment in subset)
+            )
+            subset_tables.append(
+                frozenset(
+                    fragment.column.table
+                    for fragment in subset
+                    if fragment.column.table
+                )
+            )
+            for fragment in subset:
+                j = self.col_pos[fragment.column]
+                self.subset_codes[si, j] = literal_code[j][
+                    fragment.predicate.normalized_value
+                ]
+
+        column_tables = [
+            frozenset({fragment.column.table})
+            if fragment.column.table
+            else frozenset()
+            for fragment in space.columns
+        ]
+
+        # Table set per candidate. Both factors have very few distinct
+        # table sets, so dedup over (column-variant, subset-variant) pairs
+        # rather than raw (column, subset) pairs.
+        self.table_sets: list[frozenset[str]] = []
+        set_index: dict[frozenset[str], int] = {}
+        if len(space.fn_index):
+            subset_variants: list[frozenset[str]] = []
+            subset_variant_index: dict[frozenset[str], int] = {}
+            subset_tid = np.empty(max(n_subsets, 1), dtype=np.int64)
+            for si, tables in enumerate(subset_tables):
+                tid = subset_variant_index.get(tables)
+                if tid is None:
+                    tid = subset_variant_index[tables] = len(subset_variants)
+                    subset_variants.append(tables)
+                subset_tid[si] = tid
+            column_variants: list[frozenset[str]] = []
+            column_variant_index: dict[frozenset[str], int] = {}
+            column_tid = np.empty(len(column_tables), dtype=np.int64)
+            for ci, tables in enumerate(column_tables):
+                tid = column_variant_index.get(tables)
+                if tid is None:
+                    tid = column_variant_index[tables] = len(column_variants)
+                    column_variants.append(tables)
+                column_tid[ci] = tid
+            radix = max(len(subset_variants), 1)
+            pair_codes = (
+                column_tid[space.col_index] * radix
+                + subset_tid[space.subset_index]
+            )
+            unique_pairs, inverse = np.unique(pair_codes, return_inverse=True)
+            pair_ids = np.empty(len(unique_pairs), dtype=np.int32)
+            for index, code in enumerate(unique_pairs.tolist()):
+                ctid, stid = divmod(int(code), radix)
+                tables = column_variants[ctid] | subset_variants[stid]
+                tid = set_index.get(tables)
+                if tid is None:
+                    tid = set_index[tables] = len(self.table_sets)
+                    self.table_sets.append(tables)
+                pair_ids[index] = tid
+            self.tables_id = pair_ids[inverse].astype(np.int32)
+        else:
+            self.tables_id = np.zeros(0, dtype=np.int32)
+
+        # Basis aggregate per candidate, deduplicated over (fn, col) pairs.
+        self.basis_specs: list[AggregateSpec] = []
+        spec_index: dict[AggregateSpec, int] = {}
+        n_columns = max(len(space.columns), 1)
+        if len(space.fn_index):
+            fc_codes = space.fn_index.astype(np.int64) * n_columns + space.col_index
+            unique_fc, inverse = np.unique(fc_codes, return_inverse=True)
+            spec_ids = np.empty(len(unique_fc), dtype=np.int32)
+            for index, code in enumerate(unique_fc.tolist()):
+                fi, ci = divmod(int(code), n_columns)
+                function = space.functions[fi].function
+                column = space.columns[ci].column
+                basis = (
+                    AggregateSpec(AggregateFunction.COUNT, column)
+                    if function.is_ratio
+                    else AggregateSpec(function, column)
+                )
+                sid = spec_index.get(basis)
+                if sid is None:
+                    sid = spec_index[basis] = len(self.basis_specs)
+                    self.basis_specs.append(basis)
+                spec_ids[index] = sid
+            self.basis_spec_id = spec_ids[inverse].astype(np.int32)
+        else:
+            self.basis_spec_id = np.zeros(0, dtype=np.int32)
+
+        self.fn_kind = np.array(
+            [
+                KIND_PERCENTAGE
+                if fragment.function is AggregateFunction.PERCENTAGE
+                else KIND_CONDITIONAL
+                if fragment.function is AggregateFunction.CONDITIONAL_PROBABILITY
+                else KIND_PLAIN
+                for fragment in space.functions
+            ],
+            dtype=np.int8,
+        )
+
+        # Condition (column, literal-code) pair per conditional candidate.
+        self.cond_pairs: list[tuple[int, int]] = []
+        pair_index: dict[tuple[int, int], int] = {}
+        self.cond_pair_id = np.full(len(space.fn_index), -1, dtype=np.int32)
+        cond_positions = np.flatnonzero(space.cond_k >= 0)
+        if len(cond_positions):
+            radix = int(space.cond_k.max()) + 1
+            codes = (
+                space.subset_index[cond_positions].astype(np.int64) * radix
+                + space.cond_k[cond_positions]
+            )
+            unique_codes, inverse = np.unique(codes, return_inverse=True)
+            ids = np.empty(len(unique_codes), dtype=np.int32)
+            for index, code in enumerate(unique_codes.tolist()):
+                si, k = divmod(int(code), radix)
+                predicate = subsets[si][k].predicate
+                j = self.col_pos[predicate.column]
+                pair = (j, literal_code[j][predicate.normalized_value])
+                pid = pair_index.get(pair)
+                if pid is None:
+                    pid = pair_index[pair] = len(self.cond_pairs)
+                    self.cond_pairs.append(pair)
+                ids[index] = pid
+            self.cond_pair_id[cond_positions] = ids[inverse]
+
+    def cell_key(self, subset_id: int, dims: tuple[ColumnRef, ...]) -> tuple:
+        """Cube cell key addressing ``subset_id``'s predicate combination."""
+        row = self.subset_codes[subset_id]
+        parts = []
+        for dim in dims:
+            j = self.col_pos.get(dim)
+            code = int(row[j]) if j is not None else 0
+            parts.append(self.literals[j][code - 1] if code else ALL)
+        return tuple(parts)
+
+    def cond_key(self, pair_id: int, dims: tuple[ColumnRef, ...]) -> tuple:
+        """Cube cell key restricting only the condition's column."""
+        j, code = self.cond_pairs[pair_id]
+        column = self.pred_columns[j]
+        literal = self.literals[j][code - 1]
+        return tuple(literal if dim == column else ALL for dim in dims)
+
+    def add_literals(
+        self,
+        subset_ids: np.ndarray,
+        literal_union: dict[ColumnRef, set[str]],
+    ) -> None:
+        """Union the literals of the given subsets into ``literal_union``."""
+        for si in np.unique(subset_ids).tolist():
+            row = self.subset_codes[int(si)]
+            for j, code in enumerate(row.tolist()):
+                if code:
+                    literal_union.setdefault(self.pred_columns[j], set()).add(
+                        self.literals[j][code - 1]
+                    )
+
+    def column_sets_used(
+        self, subset_ids: np.ndarray
+    ) -> set[frozenset[ColumnRef]]:
+        """Distinct predicate-column sets among the given subsets."""
+        return {
+            self.subset_col_sets[int(si)] for si in np.unique(subset_ids)
+        }
+
+
 @dataclass
 class CandidateSpace:
-    """Factorized candidate space for one claim."""
+    """Factorized candidate space for one claim.
+
+    Candidates are triples into ``functions`` x ``columns`` x ``subsets``
+    (``fn_index`` / ``col_index`` / ``subset_index``); conditional
+    candidates additionally record which subset predicate is the condition
+    (``cond_k``, -1 otherwise). ``queries`` materializes real
+    ``SimpleAggregateQuery`` objects lazily — the evaluation hot path works
+    on the index arrays alone.
+    """
 
     claim: Claim
     functions: list[FunctionFragment]
@@ -61,32 +307,171 @@ class CandidateSpace:
     fn_keyword_log: np.ndarray
     col_keyword_log: np.ndarray
     subset_keyword_log: np.ndarray
-    #: flattened candidates
-    queries: list[SimpleAggregateQuery] = field(default_factory=list)
+    #: flattened candidates (index per factor; cond_k = condition choice)
     fn_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
     col_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
     subset_index: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+    cond_k: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int32))
+    #: lazily materialized query objects (see :attr:`queries`)
+    _queries: list[SimpleAggregateQuery] | None = field(
+        default=None, repr=False, compare=False
+    )
     #: lazily built query -> position map (see :meth:`position_index`)
     _positions: dict[SimpleAggregateQuery, int] | None = field(
         default=None, repr=False, compare=False
     )
+    #: lazily built factor lookup tables (see :meth:`position_of`)
+    _locator: tuple | None = field(default=None, repr=False, compare=False)
+    #: lazily built integer encoding (see :meth:`encoding`)
+    _encoding: SpaceEncoding | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: lazily built flat (subset, column) arrays for the prior term
+    _prior_arrays: tuple | None = field(default=None, repr=False, compare=False)
+
+    def prior_arrays(self) -> tuple:
+        """Flat restriction structure for the Θ prior term (cached).
+
+        Returns ``(columns, flat_subset, flat_column)``: one entry per
+        (subset, predicate) pair, in subset-then-fragment order, where
+        ``flat_column[p]`` indexes into ``columns``. Lets
+        ``compute_distribution`` accumulate per-subset restriction
+        log-odds with one ``np.add.at`` instead of nested Python sums.
+        """
+        if self._prior_arrays is None:
+            columns: list[ColumnRef] = []
+            column_pos: dict[ColumnRef, int] = {}
+            flat_subset: list[int] = []
+            flat_column: list[int] = []
+            for si, subset in enumerate(self.subsets):
+                for fragment in subset:
+                    j = column_pos.get(fragment.column)
+                    if j is None:
+                        j = column_pos[fragment.column] = len(columns)
+                        columns.append(fragment.column)
+                    flat_subset.append(si)
+                    flat_column.append(j)
+            self._prior_arrays = (
+                columns,
+                np.asarray(flat_subset, dtype=np.intp),
+                np.asarray(flat_column, dtype=np.intp),
+            )
+        return self._prior_arrays
 
     def __len__(self) -> int:
-        return len(self.queries)
+        if self._queries is not None:
+            return len(self._queries)
+        return len(self.fn_index)
+
+    @property
+    def queries(self) -> list[SimpleAggregateQuery]:
+        """All candidate queries, materialized on first access.
+
+        The evaluation path never touches this: it answers the factorized
+        space directly (``QueryEngine.evaluate_space``). Only top-k /
+        verdict / reporting / interactive consumers pay for real objects.
+        """
+        if self._queries is None:
+            fn_list = self.fn_index.tolist()
+            col_list = self.col_index.tolist()
+            subset_list = self.subset_index.tolist()
+            cond_list = self.cond_k.tolist()
+            self._queries = [
+                _build_query(self, fi, ci, si, k)
+                for fi, ci, si, k in zip(fn_list, col_list, subset_list, cond_list)
+            ]
+        return self._queries
+
+    @queries.setter
+    def queries(self, value: list[SimpleAggregateQuery]) -> None:
+        self._queries = value
+        self._positions = None
+
+    def query_at(self, position: int) -> SimpleAggregateQuery:
+        """Materialize the single candidate at ``position``."""
+        if self._queries is not None:
+            return self._queries[position]
+        return _build_query(
+            self,
+            int(self.fn_index[position]),
+            int(self.col_index[position]),
+            int(self.subset_index[position]),
+            int(self.cond_k[position]),
+        )
+
+    def encoding(self) -> SpaceEncoding:
+        """The integer encoding driving cell-gather evaluation (cached)."""
+        if self._encoding is None:
+            self._encoding = SpaceEncoding(self)
+        return self._encoding
 
     def position_index(self) -> dict[SimpleAggregateQuery, int]:
         """Candidate position by query, built once per space.
 
         Lets result consumers (e.g. ``EvaluationOutcome.from_results``)
         index an evaluated subset into the space without a linear scan per
-        query; built lazily because ``queries`` is materialized after
-        construction.
+        query; built lazily because it materializes every query.
         """
         if self._positions is None or len(self._positions) != len(self.queries):
             self._positions = {
                 query: index for index, query in enumerate(self.queries)
             }
         return self._positions
+
+    def position_of(self, query: SimpleAggregateQuery) -> int | None:
+        """Position of ``query`` in the space (None if absent).
+
+        Uses the materialized :meth:`position_index` when queries already
+        exist; otherwise locates the query through the factor lookup
+        tables so a single membership probe (e.g. ``rank_of`` on the
+        ground-truth query) does not force materialization.
+        """
+        if self._queries is not None:
+            return self.position_index().get(query)
+        if self._locator is None:
+            fn_pos: dict[AggregateFunction, int] = {}
+            for index, fragment in enumerate(self.functions):
+                fn_pos.setdefault(fragment.function, index)
+            col_pos: dict[ColumnRef, int] = {}
+            for index, fragment in enumerate(self.columns):
+                col_pos.setdefault(fragment.column, index)
+            subset_pos: dict[frozenset, int] = {}
+            for index, subset in enumerate(self.subsets):
+                subset_pos.setdefault(
+                    frozenset(fragment.predicate for fragment in subset), index
+                )
+            self._locator = (fn_pos, col_pos, subset_pos)
+        fn_pos, col_pos, subset_pos = self._locator
+        fi = fn_pos.get(query.aggregate.function)
+        ci = col_pos.get(query.aggregate.column)
+        si = subset_pos.get(frozenset(query.all_predicates))
+        if fi is None or ci is None or si is None:
+            return None
+        mask = (
+            (self.fn_index == fi)
+            & (self.col_index == ci)
+            & (self.subset_index == si)
+        )
+        for position in np.flatnonzero(mask).tolist():
+            k = int(self.cond_k[position])
+            if query.condition is None:
+                if k < 0:
+                    return position
+            elif k >= 0 and self.subsets[si][k].predicate == query.condition:
+                return position
+        return None
+
+
+def _build_query(
+    space: CandidateSpace, fi: int, ci: int, si: int, k: int
+) -> SimpleAggregateQuery:
+    spec = AggregateSpec(space.functions[fi].function, space.columns[ci].column)
+    predicates = tuple(fragment.predicate for fragment in space.subsets[si])
+    if k >= 0:
+        condition = predicates[k]
+        event = predicates[:k] + predicates[k + 1 :]
+        return SimpleAggregateQuery(spec, event, condition)
+    return SimpleAggregateQuery(spec, predicates)
 
 
 def build_candidates(
@@ -118,7 +503,7 @@ def build_candidates(
         col_keyword_log=col_keyword_log,
         subset_keyword_log=subset_keyword_log,
     )
-    _materialize_queries(space, config)
+    _index_candidates(space, config)
     return space
 
 
@@ -166,45 +551,54 @@ def _predicate_subsets(
     return subsets, np.asarray(subset_logs)
 
 
-def _materialize_queries(space: CandidateSpace, config: CandidateConfig) -> None:
-    queries: list[SimpleAggregateQuery] = []
+def _index_candidates(space: CandidateSpace, config: CandidateConfig) -> None:
+    """Enumerate candidates as index arrays — no query objects.
+
+    Preserves the historical enumeration order exactly: functions outer,
+    columns next, subsets inner; conditional candidates expand each subset
+    of size >= 2 once per condition choice.
+    """
     fn_idx: list[int] = []
     col_idx: list[int] = []
     subset_idx: list[int] = []
+    cond_idx: list[int] = []
+    n_subsets = len(space.subsets)
+    all_subsets = range(n_subsets)
+    no_condition = [-1] * n_subsets
+    # Conditional expansion template: (subset, condition position) pairs in
+    # subset order, reused for every valid (function, column) pair.
+    cond_subsets: list[int] = []
+    cond_choices: list[int] = []
+    for si, subset in enumerate(space.subsets):
+        size = len(subset)
+        if size >= 2:
+            cond_subsets.extend([si] * size)
+            cond_choices.extend(range(size))
     for fi, fn_fragment in enumerate(space.functions):
         function = fn_fragment.function
-        if (
+        is_conditional = (
             function is AggregateFunction.CONDITIONAL_PROBABILITY
-            and not config.include_conditional_probability
-        ):
+        )
+        if is_conditional and not config.include_conditional_probability:
             continue
         for ci, col_fragment in enumerate(space.columns):
             if not _valid_pair(function, col_fragment):
                 continue
-            spec = AggregateSpec(function, col_fragment.column)
-            for si, subset in enumerate(space.subsets):
-                predicates = tuple(f.predicate for f in subset)
-                if function is AggregateFunction.CONDITIONAL_PROBABILITY:
-                    if len(predicates) < 2:
-                        continue
-                    for k in range(len(predicates)):
-                        condition = predicates[k]
-                        event = predicates[:k] + predicates[k + 1 :]
-                        queries.append(
-                            SimpleAggregateQuery(spec, event, condition)
-                        )
-                        fn_idx.append(fi)
-                        col_idx.append(ci)
-                        subset_idx.append(si)
-                else:
-                    queries.append(SimpleAggregateQuery(spec, predicates))
-                    fn_idx.append(fi)
-                    col_idx.append(ci)
-                    subset_idx.append(si)
-    space.queries = queries
+            if is_conditional:
+                count = len(cond_subsets)
+                fn_idx.extend([fi] * count)
+                col_idx.extend([ci] * count)
+                subset_idx.extend(cond_subsets)
+                cond_idx.extend(cond_choices)
+            else:
+                fn_idx.extend([fi] * n_subsets)
+                col_idx.extend([ci] * n_subsets)
+                subset_idx.extend(all_subsets)
+                cond_idx.extend(no_condition)
     space.fn_index = np.asarray(fn_idx, dtype=np.int32)
     space.col_index = np.asarray(col_idx, dtype=np.int32)
     space.subset_index = np.asarray(subset_idx, dtype=np.int32)
+    space.cond_k = np.asarray(cond_idx, dtype=np.int32)
 
 
 def _valid_pair(function: AggregateFunction, column: ColumnFragment) -> bool:

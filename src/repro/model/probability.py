@@ -11,7 +11,12 @@ log Pr(Q = q | S, E) = log Pr(S|q) + log Pr(E|q) + log Pr(q) + const
 
 Evaluation results never change between EM iterations, so the match vector
 is computed once per claim (:class:`EvaluationOutcome`) and re-used by
-every :func:`compute_distribution` call.
+every :func:`compute_distribution` call. Two constructors feed it: the
+per-query oracle path (:meth:`EvaluationOutcome.from_results`, a result
+dict keyed by materialized queries) and the factorized default path
+(:meth:`EvaluationOutcome.from_value_ids`, compact value-id arrays from
+``QueryEngine.evaluate_space`` — ``rounds_to`` runs once per distinct
+value id instead of once per candidate).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.db.gather import SpaceResults
 from repro.db.query import SimpleAggregateQuery
 from repro.db.values import Value
 from repro.model.candidates import CandidateSpace
@@ -33,11 +39,55 @@ _NEG_INF = float("-inf")
 @dataclass
 class EvaluationOutcome:
     """Evaluation results for one claim's candidates, aligned with the
-    candidate space (computed once, reused across EM iterations)."""
+    candidate space (computed once, reused across EM iterations).
 
-    evaluations: dict[SimpleAggregateQuery, Value]
+    Exactly one of ``evaluations`` (per-query oracle path: the
+    document-wide result pool) and ``space_results`` (factorized path:
+    value ids per candidate) is set; consumers go through the accessor
+    methods so both representations behave identically.
+    """
+
+    evaluations: dict[SimpleAggregateQuery, Value] | None
     evaluated: np.ndarray  # bool per candidate
     matches: np.ndarray  # bool per candidate (rounds to claimed value)
+    space_results: SpaceResults | None = None
+    #: whether *any* results exist document-wide (mirrors the oracle
+    #: path's non-empty result pool even when this claim evaluated none)
+    pool_nonempty: bool = False
+
+    def has_results(self) -> bool:
+        """True when any evaluation results exist for the document."""
+        if self.evaluations is not None:
+            return bool(self.evaluations)
+        return self.pool_nonempty
+
+    def result_at(self, space: CandidateSpace, position: int) -> Value:
+        """Result of the candidate at ``position`` (None if unevaluated)."""
+        if self.space_results is not None:
+            return self.space_results.value_at(position)
+        if self.evaluations is None:
+            return None
+        return self.evaluations.get(space.query_at(position))
+
+    def result_for(self, space: CandidateSpace, query: SimpleAggregateQuery) -> Value:
+        """Result of ``query`` (None when it has no recorded result)."""
+        if self.evaluations is not None:
+            return self.evaluations.get(query)
+        if self.space_results is None:
+            return None
+        position = space.position_of(query)
+        if position is None:
+            return None
+        return self.space_results.value_at(position)
+
+    def is_evaluated(self, space: CandidateSpace, query: SimpleAggregateQuery) -> bool:
+        """Whether ``query`` has a recorded evaluation result."""
+        if self.evaluations is not None:
+            return query in self.evaluations
+        if self.space_results is None:
+            return False
+        position = space.position_of(query)
+        return position is not None and self.space_results.has_value_at(position)
 
     @classmethod
     def from_results(
@@ -46,7 +96,7 @@ class EvaluationOutcome:
         results: dict[SimpleAggregateQuery, Value],
         scoped: set[SimpleAggregateQuery] | None = None,
     ) -> "EvaluationOutcome":
-        """Build the outcome for one claim.
+        """Build the outcome for one claim from a per-query result dict.
 
         ``results`` may be the document-wide result pool; ``scoped``
         restricts which of this claim's candidates count as evaluated
@@ -102,6 +152,44 @@ class EvaluationOutcome:
             ]
         return cls(results, evaluated, matches)
 
+    @classmethod
+    def from_value_ids(
+        cls,
+        space: CandidateSpace,
+        results: SpaceResults,
+        scope_mask: np.ndarray | None = None,
+        pool_nonempty: bool = True,
+    ) -> "EvaluationOutcome":
+        """Build the outcome from factorized space results.
+
+        ``results`` carries one value id per candidate (-1 = not
+        evaluated); ``scope_mask`` restricts which candidates count as
+        evaluated this EM iteration (None = all with results). The
+        rounding check runs once per distinct value id in the space's
+        value table and fans out by integer gather.
+        """
+        claimed = space.claim.claimed_value
+        ids = np.asarray(results.value_ids)
+        evaluated = ids >= 0
+        if scope_mask is not None:
+            evaluated = evaluated & np.asarray(scope_mask)
+        matches = np.zeros(len(space), dtype=bool)
+        if evaluated.any():
+            values = results.table.values
+            match_by_id = np.fromiter(
+                (rounds_to(value, claimed) for value in values),
+                dtype=bool,
+                count=len(values),
+            )
+            matches[evaluated] = match_by_id[ids[evaluated]]
+        return cls(
+            None,
+            evaluated,
+            matches,
+            space_results=results,
+            pool_nonempty=pool_nonempty,
+        )
+
 
 @dataclass
 class ClaimDistribution:
@@ -112,31 +200,49 @@ class ClaimDistribution:
     probabilities: np.ndarray
     outcome: EvaluationOutcome | None
 
-    def top_queries(self, k: int) -> list[tuple[SimpleAggregateQuery, float]]:
-        """The k most likely candidates with their probabilities."""
+    def top_positions(self, k: int) -> list[int]:
+        """Positions of the k most likely candidates, best first."""
         if len(self.space) == 0:
             return []
         order = np.argsort(-self.probabilities, kind="stable")[:k]
+        return [int(i) for i in order]
+
+    def top_position(self) -> int | None:
+        top = self.top_positions(1)
+        return top[0] if top else None
+
+    def top_queries(self, k: int) -> list[tuple[SimpleAggregateQuery, float]]:
+        """The k most likely candidates with their probabilities.
+
+        Materializes only the k returned queries — the rest of the space
+        stays factorized.
+        """
         return [
-            (self.space.queries[i], float(self.probabilities[i])) for i in order
+            (self.space.query_at(i), float(self.probabilities[i]))
+            for i in self.top_positions(k)
         ]
 
     def top_query(self) -> SimpleAggregateQuery | None:
         top = self.top_queries(1)
         return top[0][0] if top else None
 
+    def result_at(self, position: int) -> Value:
+        """Evaluation result of the candidate at ``position``."""
+        if self.outcome is None:
+            return None
+        return self.outcome.result_at(self.space, position)
+
     def result_of(self, query: SimpleAggregateQuery) -> Value:
         if self.outcome is None:
             return None
-        return self.outcome.evaluations.get(query)
+        return self.outcome.result_for(self.space, query)
 
     def rank_of(self, query: SimpleAggregateQuery) -> int | None:
         """1-based rank of a query in the distribution (None if absent)."""
-        try:
-            index = self.space.queries.index(query)
-        except ValueError:
+        position = self.space.position_of(query)
+        if position is None:
             return None
-        better = np.sum(self.probabilities > self.probabilities[index])
+        better = np.sum(self.probabilities > self.probabilities[position])
         return int(better) + 1
 
     def probability_correct(self) -> float:
@@ -184,22 +290,32 @@ def compute_distribution(
 
 
 def _prior_term(space: CandidateSpace, priors: Priors) -> np.ndarray:
-    fn_prior = np.array(
-        [math.log(priors.function_prior(f.function)) for f in space.functions]
+    """Per-candidate log-prior, via the priors' cached log tables.
+
+    The tables are computed once per :class:`Priors` instance (a fresh
+    instance per M-step), so EM iterations pay dictionary lookups instead
+    of ``math.log`` calls per fragment per claim.
+    """
+    fn_prior = np.fromiter(
+        (priors.log_function_prior(f.function) for f in space.functions),
+        dtype=float,
+        count=len(space.functions),
     )
-    col_prior = np.array(
-        [math.log(priors.column_prior(c.column)) for c in space.columns]
+    col_prior = np.fromiter(
+        (priors.log_column_prior(c.column) for c in space.columns),
+        dtype=float,
+        count=len(space.columns),
     )
-    subset_prior = np.array(
-        [
-            sum(
-                math.log(priors.restriction_prior(f.column))
-                - math.log(1.0 - priors.restriction_prior(f.column))
-                for f in subset
-            )
-            for subset in space.subsets
-        ]
+    columns, flat_subset, flat_column = space.prior_arrays()
+    odds = np.fromiter(
+        (priors.log_restriction_odds(column) for column in columns),
+        dtype=float,
+        count=len(columns),
     )
+    # Sequential accumulation in (subset, fragment) order: identical float
+    # addition order to the per-fragment Python sum it replaces.
+    subset_prior = np.zeros(len(space.subsets))
+    np.add.at(subset_prior, flat_subset, odds[flat_column])
     return (
         fn_prior[space.fn_index]
         + col_prior[space.col_index]

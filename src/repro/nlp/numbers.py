@@ -69,6 +69,14 @@ def extract_number_mentions(tokens: list[Token]) -> list[NumberMention]:
     return mentions
 
 
+#: Memo for :func:`rounds_to`: the check walks up to ``max_digits``
+#: roundings per call and is invoked once per distinct evaluation result
+#: per claim — results (counts, sums) and claimed values repeat heavily
+#: across claims, documents, and EM iterations of one database.
+_ROUNDS_MEMO: dict[tuple, bool] = {}
+_ROUNDS_MEMO_LIMIT = 1 << 17
+
+
 def rounds_to(result: float | int | None, claimed: float, max_digits: int = 12) -> bool:
     """True if ``result`` rounded to *some* number of significant digits
     equals ``claimed`` (the paper's admissible rounding)."""
@@ -78,6 +86,20 @@ def rounds_to(result: float | int | None, claimed: float, max_digits: int = 12) 
         return False
     if math.isnan(result) or math.isinf(result):
         return False
+    key = (result, claimed, max_digits)
+    cached = _ROUNDS_MEMO.get(key)
+    if cached is None:
+        if len(_ROUNDS_MEMO) >= _ROUNDS_MEMO_LIMIT:
+            _ROUNDS_MEMO.clear()
+        cached = _ROUNDS_MEMO[key] = _rounds_to_uncached(
+            result, claimed, max_digits
+        )
+    return cached
+
+
+def _rounds_to_uncached(
+    result: float | int, claimed: float, max_digits: int
+) -> bool:
     if _close(result, claimed):
         return True
     for digits in range(1, max_digits + 1):
