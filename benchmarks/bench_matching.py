@@ -1,0 +1,221 @@
+"""Matching front-end throughput: batched vs per-claim keyword matching.
+
+The workload mirrors the paper's setting at scale: one large relational
+table whose categorical values draw on a shared vocabulary (so claim
+keywords hit many fragment postings — the regime where per-claim Python
+scoring loops dominate ingestion), plus documents that summarize that
+table. Two measurements, written to ``BENCH_matching.json``:
+
+- ``matching``: claims/sec through ``keyword_match`` (per-claim oracle)
+  vs ``keyword_match_batch`` (one vectorized keyword->fragment scoring
+  pass per document) against the same compiled index;
+- ``verdicts``: a small end-to-end ``run_corpus`` with batching on and
+  off, asserting verdict identity.
+
+Score equality between the two paths is asserted unconditionally and
+bit-exact (same fragments, same order, equal floats). The >= 3x speedup
+gate applies when NumPy is available and the workload is full-size
+(``BENCH_MATCHING_ROWS`` >= 4000, the default — smoke runs are too small
+for the vectorized kernels to amortize).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.core.config import AggCheckerConfig
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.db import Column, ColumnType, Database, Table
+from repro.fragments import FragmentIndex, extract_fragments
+from repro.fragments.extract import ExtractionConfig
+from repro.harness import run_corpus
+from repro.harness.reporting import format_table
+from repro.ir.index import numpy_available
+from repro.matching import keyword_match, keyword_match_batch
+from repro.text import detect_claims, parse_html
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_matching.json"
+
+_ADJECTIVES = [
+    "red", "green", "blue", "quick", "lazy", "bright", "dark", "smooth",
+    "rough", "tall", "short", "wide", "narrow", "young", "old", "fast",
+    "slow", "warm", "cold", "loud",
+]
+_NOUNS = [
+    "team", "player", "coach", "city", "league", "season", "game", "match",
+    "club", "region", "district", "state", "party", "survey", "school",
+    "company", "airline", "movie", "song", "book",
+]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+def _build_database(rows: int, seed: int = 7) -> Database:
+    """A wide categorical table with heavily shared value vocabulary."""
+    rng = random.Random(seed)
+    values = [f"{a} {n}" for a in _ADJECTIVES for n in _NOUNS]
+    data = [
+        (
+            rng.choice(values),
+            rng.choice(values),
+            rng.choice(values),
+            rng.randint(1, 40),
+        )
+        for _ in range(rows)
+    ]
+    table = Table(
+        "records",
+        [
+            Column("alpha"),
+            Column("beta"),
+            Column("gamma"),
+            Column("score", ColumnType.NUMERIC),
+        ],
+        data,
+    )
+    return Database("bench_matching", [table])
+
+
+def _build_documents(n_docs: int, claims_per_doc: int, seed: int = 11):
+    """HTML documents summarizing the table (one claim per sentence)."""
+    rng = random.Random(seed)
+    documents = []
+    for doc_index in range(n_docs):
+        sentences = []
+        for _ in range(claims_per_doc):
+            count = rng.randint(2, 99)
+            alpha = rng.choice(_ADJECTIVES)
+            beta = rng.choice(_NOUNS)
+            gamma = rng.choice(_NOUNS)
+            sentences.append(
+                f"There were {count} records for the {alpha} {beta} "
+                f"in the {gamma} group."
+            )
+        html = (
+            f"<title>Summary report {doc_index}</title>"
+            f"<h1>Scores and totals</h1><p>{' '.join(sentences)}</p>"
+        )
+        documents.append(detect_claims(parse_html(html)))
+    return documents
+
+
+def _assert_identical(oracle, batch, claims) -> None:
+    for claim in claims:
+        o, b = oracle[claim], batch[claim]
+        assert list(o.functions.items()) == list(b.functions.items()), claim
+        assert list(o.columns.items()) == list(b.columns.items()), claim
+        assert list(o.predicates.items()) == list(b.predicates.items()), claim
+
+
+def _verdict_signature(run) -> list[list[tuple]]:
+    return [
+        [
+            (v.status.value, str(v.top_query), v.top_result)
+            for v in result.report.verdicts
+        ]
+        for result in run.results
+    ]
+
+
+def test_matching_throughput(capsys):
+    rows = _env_int("BENCH_MATCHING_ROWS", 4000)
+    n_docs = _env_int("BENCH_MATCHING_DOCS", 6)
+    claims_per_doc = _env_int("BENCH_MATCHING_CLAIMS", 12)
+    repeats = _env_int("BENCH_MATCHING_REPEATS", 5)
+
+    database = _build_database(rows)
+    catalog = extract_fragments(
+        database, ExtractionConfig(max_distinct_per_column=500)
+    )
+    index = FragmentIndex(catalog)
+    index.compiled()  # compile outside the timed region: built once per db
+    documents = _build_documents(n_docs, claims_per_doc)
+    n_claims = sum(len(claims) for claims in documents)
+
+    # Score equality, asserted before timing on every document.
+    for claims in documents:
+        _assert_identical(
+            keyword_match(claims, index),
+            keyword_match_batch(claims, index),
+            claims,
+        )
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for claims in documents:
+            keyword_match(claims, index)
+    per_claim_seconds = (time.perf_counter() - started) / repeats
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for claims in documents:
+            keyword_match_batch(claims, index)
+    batched_seconds = (time.perf_counter() - started) / repeats
+
+    speedup = per_claim_seconds / max(batched_seconds, 1e-9)
+    matching = {
+        "rows": rows,
+        "predicate_fragments": len(catalog.predicates),
+        "documents": n_docs,
+        "claims": n_claims,
+        "per_claim_claims_per_sec": round(
+            n_claims / max(per_claim_seconds, 1e-9)
+        ),
+        "batched_claims_per_sec": round(n_claims / max(batched_seconds, 1e-9)),
+        "speedup": round(speedup, 2),
+        "scores_identical": True,
+    }
+
+    # End-to-end verdict identity: full pipeline, batching on vs off.
+    corpus = generate_corpus(CorpusConfig(n_articles=3))
+    run_on = run_corpus(corpus, AggCheckerConfig(batch_matching=True))
+    run_off = run_corpus(corpus, AggCheckerConfig(batch_matching=False))
+    assert _verdict_signature(run_on) == _verdict_signature(run_off)
+    verdicts = {
+        "cases": len(corpus.cases),
+        "claims": run_on.metrics.n_claims,
+        "identical": True,
+    }
+
+    payload = {
+        "benchmark": "batched matching front end vs per-claim oracle",
+        "numpy": numpy_available(),
+        "matching": matching,
+        "verdicts": verdicts,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = format_table(
+        "Matching front-end throughput",
+        ["Path", "Claims/s", "Speedup"],
+        [
+            ["per-claim", f"{matching['per_claim_claims_per_sec']}", ""],
+            [
+                "batched",
+                f"{matching['batched_claims_per_sec']}",
+                f"x{matching['speedup']}",
+            ],
+        ],
+    )
+    with capsys.disabled():
+        print("\n" + table)
+        print(
+            f"{n_claims} claims, {len(catalog.predicates)} predicate "
+            f"fragments; verdicts identical over {verdicts['claims']} "
+            f"corpus claims"
+        )
+        print(f"written: {OUTPUT}")
+
+    # The acceptance gate: one vectorized pass per document must deliver
+    # >= 3x matching throughput. NumPy-only; smoke workloads are too
+    # small for the kernels to amortize their setup.
+    if numpy_available() and rows >= 4000:
+        assert speedup >= 3.0, payload

@@ -22,7 +22,7 @@ from repro.db.engine import EngineStats, QueryEngine
 from repro.db.schema import Database
 from repro.fragments.extract import extract_fragments
 from repro.fragments.indexer import FragmentIndex
-from repro.matching.matcher import keyword_match
+from repro.matching.matcher import keyword_match, keyword_match_batch
 from repro.model.candidates import build_candidates
 from repro.model.em import InferenceResult, query_and_learn
 from repro.model.priors import Priors
@@ -48,9 +48,17 @@ def _pool_predicate_fragments(scores: dict[Claim, RelevanceScores]) -> None:
     dominates.
     """
     union: dict = {}
+    fragment_ids: dict = {}
+    ids_known = True
     for relevance in scores.values():
-        for fragment, score in relevance.predicates.items():
+        predicate_ids = relevance.predicate_ids
+        ids_known = ids_known and predicate_ids is not None
+        for position, (fragment, score) in enumerate(
+            relevance.predicates.items()
+        ):
             union[fragment] = max(union.get(fragment, 0.0), score)
+            if predicate_ids is not None:
+                fragment_ids[fragment] = predicate_ids[position]
     for relevance in scores.values():
         if not relevance.predicates:
             continue
@@ -58,6 +66,13 @@ def _pool_predicate_fragments(scores: dict[Claim, RelevanceScores]) -> None:
         for fragment in union:
             if fragment not in relevance.predicates:
                 relevance.predicates[fragment] = floor
+                if relevance.predicate_ids is not None:
+                    # Keep the catalog-aligned id array in dict order.
+                    if ids_known:
+                        relevance.predicate_ids.append(fragment_ids[fragment])
+                    else:
+                        relevance.predicate_ids = None
+        relevance._values = None  # predicate values changed
 
 
 @dataclass
@@ -106,6 +121,11 @@ class AggChecker:
             database, self.config.extraction, data_dictionary
         )
         self.index = FragmentIndex(self.catalog)
+        if self.config.batch_matching:
+            # Compile the matching artifacts (shared vocabulary, CSR
+            # postings, idf/norm arrays) up front: checkers are pooled per
+            # database, so every document reuses them.
+            self.index.compiled()
         disk_cache = None
         if self.config.cache_dir:
             from repro.db.diskcache import DiskCubeCache
@@ -149,7 +169,8 @@ class AggChecker:
         # corpus cases sharing a database); the report carries this
         # document's engine-stats *delta* so per-case numbers stay additive.
         stats_before = self.engine.stats.copy()
-        scores = keyword_match(
+        matcher = keyword_match_batch if self.config.batch_matching else keyword_match
+        scores = matcher(
             claims,
             self.index,
             self.config.context,

@@ -44,6 +44,10 @@ class AggCheckerConfig:
     #: Share predicate fragments across the document's claims (paper
     #: Section 6.3 pools literals "for any claim in the document").
     pool_predicates: bool = True
+    #: Score all of a document's claim contexts against the compiled
+    #: fragment index in one vectorized pass per category (bit-identical
+    #: to the per-claim oracle, which False falls back to).
+    batch_matching: bool = True
     #: Directory for the persistent cube-cell cache (None disables the
     #: disk tier). Safe to share between concurrent workers and across
     #: runs: entries are keyed by database *content* fingerprint, so data

@@ -1,10 +1,13 @@
 """Run the AggChecker over corpus cases in fully automated mode.
 
 Checker construction is the expensive per-case fixed cost (fragment
-extraction, fragment indexing, join-graph setup); :class:`CheckerPool`
-amortizes it by keeping one :class:`~repro.core.checker.AggChecker` per
-distinct database, so cases sharing a database also share the engine's
-in-memory :class:`~repro.db.cache.ResultCache`. The sequential
+extraction, fragment indexing, compilation of the batched-matching
+artifacts, join-graph setup); :class:`CheckerPool` amortizes it by keeping
+one :class:`~repro.core.checker.AggChecker` per distinct database, so
+cases sharing a database also share the engine's in-memory
+:class:`~repro.db.cache.ResultCache` *and* the compiled fragment index
+(shared term vocabulary, CSR postings, idf/norm arrays) that
+``keyword_match_batch`` scores documents against. The sequential
 :func:`run_corpus` and the process-parallel runner in
 :mod:`repro.harness.parallel` are both built on the pool, which keeps
 their per-case behavior (and therefore their results) identical.

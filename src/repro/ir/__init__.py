@@ -9,8 +9,19 @@ with weighted query terms (:mod:`repro.ir.search`).
 """
 
 from repro.ir.analysis import Analyzer, tokenize
-from repro.ir.index import InvertedIndex
-from repro.ir.search import Hit, search
+from repro.ir.index import CompiledPostings, InvertedIndex, TermVocabulary
+from repro.ir.search import Hit, search, search_compiled_batch, search_terms
 from repro.ir.stemmer import porter_stem
 
-__all__ = ["Analyzer", "Hit", "InvertedIndex", "porter_stem", "search", "tokenize"]
+__all__ = [
+    "Analyzer",
+    "CompiledPostings",
+    "Hit",
+    "InvertedIndex",
+    "TermVocabulary",
+    "porter_stem",
+    "search",
+    "search_compiled_batch",
+    "search_terms",
+    "tokenize",
+]

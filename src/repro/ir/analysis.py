@@ -38,6 +38,7 @@ class Analyzer:
         self.stem = stem
         self.keep_stopwords = keep_stopwords
         self._cache: dict[str, str] = {}
+        self._keyword_terms: dict[str, tuple[str, ...]] = {}
 
     def analyze(self, text: str) -> list[str]:
         """Full pipeline over raw text."""
@@ -51,6 +52,35 @@ class Analyzer:
                 continue
             output.append(self._stem(token) if self.stem else token)
         return output
+
+    def analyze_weighted(self, weighted: dict[str, float]) -> dict[str, float]:
+        """Analyze a weighted keyword context into weighted *terms*.
+
+        Keywords with non-positive weight are dropped; weights of keywords
+        mapping to the same term combine by max (repeating a keyword must
+        not dilute others). Term order is first-occurrence order, which
+        downstream scoring relies on for reproducible float accumulation.
+        Analyzing the context once and reusing the result across all
+        category indexes is what makes retrieval pay stemming once per
+        claim instead of once per claim per index.
+        """
+        keyword_terms = self._keyword_terms
+        query: dict[str, float] = {}
+        for keyword, weight in weighted.items():
+            if weight <= 0:
+                continue
+            terms = keyword_terms.get(keyword)
+            if terms is None:
+                # Contexts draw from a small recurring vocabulary, so the
+                # keyword -> terms mapping is memoized per analyzer.
+                terms = keyword_terms[keyword] = tuple(self.analyze(keyword))
+            for token in terms:
+                previous = query.get(token)
+                if previous is None:
+                    query[token] = max(0.0, weight)
+                else:
+                    query[token] = max(previous, weight)
+        return query
 
     def term(self, token: str) -> str | None:
         """Analyze a single token; None if it is dropped as a stopword."""

@@ -158,16 +158,27 @@ def _step_5b(word: str) -> str:
     return word
 
 
+#: Process-wide stem memo. Claim contexts and fragment keywords draw from a
+#: small shared vocabulary, so across documents (and Analyzer instances —
+#: one per FragmentIndex) the same words are stemmed over and over; the
+#: algorithm is pure, so results are cached unboundedly.
+_MEMO: dict[str, str] = {}
+
+
 def porter_stem(word: str) -> str:
     """Stem one lowercase word; words of length <= 2 are returned as-is."""
     if len(word) <= 2:
         return word
-    word = _step_1a(word)
-    word = _step_1b(word)
-    word = _step_1c(word)
-    word = _apply_rules(word, _STEP_2, 1)
-    word = _apply_rules(word, _STEP_3, 1)
-    word = _step_4(word)
-    word = _step_5a(word)
-    word = _step_5b(word)
-    return word
+    cached = _MEMO.get(word)
+    if cached is not None:
+        return cached
+    stem = _step_1a(word)
+    stem = _step_1b(stem)
+    stem = _step_1c(stem)
+    stem = _apply_rules(stem, _STEP_2, 1)
+    stem = _apply_rules(stem, _STEP_3, 1)
+    stem = _step_4(stem)
+    stem = _step_5a(stem)
+    stem = _step_5b(stem)
+    _MEMO[word] = stem
+    return stem

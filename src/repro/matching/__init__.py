@@ -7,7 +7,13 @@ sentence, the paragraph start, and enclosing headlines are added with
 discounted weights; the weighted context queries the fragment index.
 """
 
-from repro.matching.context import ContextConfig, claim_keywords
-from repro.matching.matcher import keyword_match
+from repro.matching.context import ContextConfig, claim_contexts, claim_keywords
+from repro.matching.matcher import keyword_match, keyword_match_batch
 
-__all__ = ["ContextConfig", "claim_keywords", "keyword_match"]
+__all__ = [
+    "ContextConfig",
+    "claim_contexts",
+    "claim_keywords",
+    "keyword_match",
+    "keyword_match_batch",
+]

@@ -11,16 +11,23 @@ For a claim ``c`` in sentence ``s``:
   share of the source word's weight.
 
 Weights for repeated words combine by maximum.
+
+Claims of one document overwhelmingly share sentences, paragraphs, and
+headlines, so :func:`claim_contexts` threads an :class:`ExtractionCache`
+through the per-claim calls: dependency trees, per-sentence keyword lists,
+and per-headline token lists are computed once per document instead of
+once per claim. The cache changes no weights — only how often the shared
+work runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ir.analysis import STOPWORDS
 from repro.nlp.dependency import build_dependency_tree
 from repro.nlp.tokens import Token
-from repro.nlp.wordnet import synonyms
+from repro.nlp.wordnet import synonym_list
 from repro.text.claims import Claim
 
 #: Discounts from the paper's Algorithm 2.
@@ -45,43 +52,113 @@ class ContextConfig:
         return cls(False, False, False, False)
 
 
+@dataclass
+class ExtractionCache:
+    """Per-document extraction artifacts, keyed by object identity.
+
+    Valid for as long as the caller keeps the claims (and thus their
+    sentences/sections) alive — :func:`claim_contexts` scopes one cache to
+    one document pass.
+    """
+
+    #: dependency tree per sentence id
+    trees: dict[int, object] = field(default_factory=dict)
+    #: (token index, lowercased word) keyword pairs per sentence id
+    sentence_keywords: dict[int, list[tuple[int, str]]] = field(
+        default_factory=dict
+    )
+    #: lowercased keyword words per headline string
+    headline_keywords: dict[str, list[str]] = field(default_factory=dict)
+
+    def tree_for(self, sentence) -> object:
+        tree = self.trees.get(id(sentence))
+        if tree is None:
+            tree = build_dependency_tree(sentence.tokens)
+            self.trees[id(sentence)] = tree
+        return tree
+
+    def keywords_of(self, sentence) -> list[tuple[int, str]]:
+        pairs = self.sentence_keywords.get(id(sentence))
+        if pairs is None:
+            pairs = [
+                (token.index, token.lower)
+                for token in sentence.tokens
+                if _is_keyword(token)
+            ]
+            self.sentence_keywords[id(sentence)] = pairs
+        return pairs
+
+    def headline_words(self, headline: str) -> list[str]:
+        words = self.headline_keywords.get(headline)
+        if words is None:
+            from repro.nlp.tokens import tokenize_with_punct
+
+            words = [
+                token.lower
+                for token in tokenize_with_punct(headline)
+                if _is_keyword(token)
+            ]
+            self.headline_keywords[headline] = words
+        return words
+
+
+def claim_contexts(
+    claims: list[Claim], config: ContextConfig | None = None
+) -> list[dict[str, float]]:
+    """Weighted keyword contexts for all claims of one document.
+
+    One shared :class:`ExtractionCache` builds each sentence's dependency
+    tree, keyword list, and each headline's token list once per document.
+    """
+    cache = ExtractionCache()
+    return [claim_keywords(claim, config, _cache=cache) for claim in claims]
+
+
 def claim_keywords(
-    claim: Claim, config: ContextConfig | None = None
+    claim: Claim,
+    config: ContextConfig | None = None,
+    _cache: ExtractionCache | None = None,
 ) -> dict[str, float]:
     """Weighted keyword context for one claim."""
     config = config or ContextConfig()
+    cache = _cache if _cache is not None else ExtractionCache()
     weights: dict[str, float] = {}
 
     sentence = claim.sentence
-    tree = build_dependency_tree(sentence.tokens)
+    tree = cache.tree_for(sentence)
     claim_indexes = set(claim.mention.token_indexes)
     sentence_minimum = 1.0
-    for token in sentence.tokens:
-        if token.index in claim_indexes or not _is_keyword(token):
+    for token_index, word in cache.keywords_of(sentence):
+        if token_index in claim_indexes:
             continue
         distance = max(
-            min(tree.distance(token.index, index) for index in claim_indexes),
+            min(tree.distance(token_index, index) for index in claim_indexes),
             1,
         )
         weight = 1.0 / distance
         sentence_minimum = min(sentence_minimum, weight)
-        _accumulate(weights, token.lower, weight)
+        _accumulate(weights, word, weight)
         if config.use_synonyms:
-            for synonym in synonyms(token.lower):
+            for synonym in synonym_list(word):
                 _accumulate(weights, synonym, weight * SYNONYM_SHARE)
 
     m = sentence_minimum
 
     if config.use_previous_sentence and sentence.previous is not None:
-        _add_sentence_words(weights, sentence.previous.tokens, PARAGRAPH_WEIGHT * m)
+        _add_keyword_pairs(
+            weights, cache.keywords_of(sentence.previous), PARAGRAPH_WEIGHT * m
+        )
     if config.use_paragraph_start:
         first = sentence.paragraph.first_sentence
         if first is not None and first is not sentence:
-            _add_sentence_words(weights, first.tokens, PARAGRAPH_WEIGHT * m)
+            _add_keyword_pairs(
+                weights, cache.keywords_of(first), PARAGRAPH_WEIGHT * m
+            )
     if config.use_headlines:
         for section in sentence.paragraph.section.ancestors():
             if section.headline:
-                _add_headline_words(weights, section.headline, HEADLINE_WEIGHT * m)
+                for word in cache.headline_words(section.headline):
+                    _accumulate(weights, word, HEADLINE_WEIGHT * m)
     return weights
 
 
@@ -93,20 +170,11 @@ def _is_keyword(token: Token) -> bool:
     )
 
 
-def _add_sentence_words(
-    weights: dict[str, float], tokens: list[Token], weight: float
+def _add_keyword_pairs(
+    weights: dict[str, float], pairs: list[tuple[int, str]], weight: float
 ) -> None:
-    for token in tokens:
-        if _is_keyword(token):
-            _accumulate(weights, token.lower, weight)
-
-
-def _add_headline_words(
-    weights: dict[str, float], headline: str, weight: float
-) -> None:
-    from repro.nlp.tokens import tokenize_with_punct
-
-    _add_sentence_words(weights, tokenize_with_punct(headline), weight)
+    for _, word in pairs:
+        _accumulate(weights, word, weight)
 
 
 def _accumulate(weights: dict[str, float], word: str, weight: float) -> None:

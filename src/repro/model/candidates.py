@@ -328,6 +328,8 @@ class CandidateSpace:
     )
     #: lazily built flat (subset, column) arrays for the prior term
     _prior_arrays: tuple | None = field(default=None, repr=False, compare=False)
+    #: lazily built Θ slot arrays, cached per PriorLayout identity
+    _prior_slots: tuple | None = field(default=None, repr=False, compare=False)
 
     def prior_arrays(self) -> tuple:
         """Flat restriction structure for the Θ prior term (cached).
@@ -357,6 +359,47 @@ class CandidateSpace:
                 np.asarray(flat_column, dtype=np.intp),
             )
         return self._prior_arrays
+
+    def prior_slots(self, layout) -> tuple:
+        """Θ table slots of this space's factors (cached per layout).
+
+        Returns ``(fn_slots, col_slots, odds_slots)``: per function
+        fragment, per column fragment, and per restricted column of
+        :meth:`prior_arrays`, the index into the corresponding
+        :meth:`~repro.model.priors.Priors.log_tables` array. One document's
+        M-step priors all share one layout, so the E-step pays these dict
+        lookups once per space instead of once per fragment per iteration.
+        """
+        cached = self._prior_slots
+        if cached is not None and cached[0] is layout:
+            return cached[1], cached[2], cached[3]
+        fn_fallback = len(layout.fn_slot)
+        fn_slots = np.fromiter(
+            (
+                layout.fn_slot.get(fragment.function, fn_fallback)
+                for fragment in self.functions
+            ),
+            dtype=np.intp,
+            count=len(self.functions),
+        )
+        col_fallback = len(layout.col_slot)
+        col_slots = np.fromiter(
+            (
+                layout.col_slot.get(fragment.column, col_fallback)
+                for fragment in self.columns
+            ),
+            dtype=np.intp,
+            count=len(self.columns),
+        )
+        columns, _, _ = self.prior_arrays()
+        odds_fallback = len(layout.odds_slot)
+        odds_slots = np.fromiter(
+            (layout.odds_slot.get(column, odds_fallback) for column in columns),
+            dtype=np.intp,
+            count=len(columns),
+        )
+        self._prior_slots = (layout, fn_slots, col_slots, odds_slots)
+        return fn_slots, col_slots, odds_slots
 
     def __len__(self) -> int:
         if self._queries is not None:
@@ -484,13 +527,12 @@ def build_candidates(
     config = config or CandidateConfig()
 
     functions = list(scores.functions)
-    fn_keyword_log = _normalized_log_scores(
-        [scores.functions[f] for f in functions]
-    )
     columns = list(scores.columns)
-    col_keyword_log = _normalized_log_scores(
-        [scores.columns[c] for c in columns]
-    )
+    # Score values ride along as dict-order-aligned arrays (shared with
+    # the batched matcher's catalog-aligned output).
+    fn_values, col_values, _ = scores.value_arrays()
+    fn_keyword_log = _normalized_log_scores(fn_values)
+    col_keyword_log = _normalized_log_scores(col_values)
 
     subsets, subset_keyword_log = _predicate_subsets(scores, config)
 

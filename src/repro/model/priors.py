@@ -11,10 +11,38 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.db.aggregates import AggregateFunction
 from repro.db.query import SimpleAggregateQuery
 from repro.db.refs import ColumnRef
 from repro.fragments.fragments import FragmentCatalog
+
+
+class PriorLayout:
+    """Slot assignment of one document's Θ components.
+
+    ``update_from`` preserves dictionary key order exactly, so every
+    M-step instance of one document's priors shares this layout; candidate
+    spaces cache their slot arrays against its identity and the E-step
+    prior term becomes pure integer gathers into per-instance log tables.
+    Slot ``n`` (one past the last real component) is the fallback for keys
+    the priors never saw — the log tables park ``log(_MIN_PRIOR)`` (and
+    the clamped log-odds) there.
+    """
+
+    __slots__ = ("fn_slot", "col_slot", "odds_slot")
+
+    def __init__(self, priors: "Priors") -> None:
+        self.fn_slot: dict[AggregateFunction, int] = {
+            key: slot for slot, key in enumerate(priors.functions)
+        }
+        self.col_slot: dict[ColumnRef, int] = {
+            key: slot for slot, key in enumerate(priors.columns)
+        }
+        self.odds_slot: dict[ColumnRef, int] = {
+            key: slot for slot, key in enumerate(priors.restrictions)
+        }
 
 
 @dataclass
@@ -38,6 +66,12 @@ class Priors:
         default=None, init=False, repr=False, compare=False
     )
     _log_odds: dict[ColumnRef, float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _layout: "PriorLayout | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _log_tables: tuple | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -89,7 +123,11 @@ class Priors:
             column: (count + smoothing) / (n + 2.0 * smoothing)
             for column, count in restriction_counts.items()
         }
-        return Priors(functions, columns, restrictions)
+        updated = Priors(functions, columns, restrictions)
+        # Key sets and orders are inherited verbatim from self, so the
+        # layout (and every slot array cached against it) stays valid.
+        updated._layout = self._layout
+        return updated
 
     def distance(self, other: "Priors") -> float:
         """L1 distance between parameter vectors (convergence check)."""
@@ -149,6 +187,38 @@ class Priors:
             p = self.restriction_prior(column)
             value = table[column] = math.log(p) - math.log(1.0 - p)
         return value
+
+    # -- aligned array tables (the E-step gather path) -------------------
+
+    def layout(self) -> PriorLayout:
+        """Slot layout shared by this document's chain of M-step priors."""
+        if self._layout is None:
+            self._layout = PriorLayout(self)
+        return self._layout
+
+    def log_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Layout-aligned ``(log p_f, log p_a, log-odds p_r)`` arrays.
+
+        Built once per instance with the same ``math.log`` calls as the
+        scalar accessors (bit-identical values); the final slot of each
+        table holds the out-of-vocabulary fallback.
+        """
+        if self._log_tables is None:
+            fn_table = np.empty(len(self.functions) + 1)
+            for slot, value in enumerate(self.functions.values()):
+                fn_table[slot] = math.log(value)
+            fn_table[-1] = math.log(_MIN_PRIOR)
+            col_table = np.empty(len(self.columns) + 1)
+            for slot, value in enumerate(self.columns.values()):
+                col_table[slot] = math.log(value)
+            col_table[-1] = math.log(_MIN_PRIOR)
+            odds_table = np.empty(len(self.restrictions) + 1)
+            for slot, value in enumerate(self.restrictions.values()):
+                p = min(max(value, _MIN_PRIOR), 1.0 - _MIN_PRIOR)
+                odds_table[slot] = math.log(p) - math.log(1.0 - p)
+            odds_table[-1] = math.log(_MIN_PRIOR) - math.log(1.0 - _MIN_PRIOR)
+            self._log_tables = (fn_table, col_table, odds_table)
+        return self._log_tables
 
 
 _MIN_PRIOR = 1e-6

@@ -290,35 +290,26 @@ def compute_distribution(
 
 
 def _prior_term(space: CandidateSpace, priors: Priors) -> np.ndarray:
-    """Per-candidate log-prior, via the priors' cached log tables.
+    """Per-candidate log-prior, as pure integer gathers.
 
-    The tables are computed once per :class:`Priors` instance (a fresh
-    instance per M-step), so EM iterations pay dictionary lookups instead
-    of ``math.log`` calls per fragment per claim.
+    The priors expose layout-aligned log tables built once per instance
+    (:meth:`~repro.model.priors.Priors.log_tables`); the space caches its
+    slot arrays once per document (:meth:`CandidateSpace.prior_slots`, the
+    layout is shared by every M-step instance). The E-step therefore does
+    no per-fragment dict lookups at all — values and accumulation order
+    are identical to the dict-walking implementation this replaces.
     """
-    fn_prior = np.fromiter(
-        (priors.log_function_prior(f.function) for f in space.functions),
-        dtype=float,
-        count=len(space.functions),
-    )
-    col_prior = np.fromiter(
-        (priors.log_column_prior(c.column) for c in space.columns),
-        dtype=float,
-        count=len(space.columns),
-    )
-    columns, flat_subset, flat_column = space.prior_arrays()
-    odds = np.fromiter(
-        (priors.log_restriction_odds(column) for column in columns),
-        dtype=float,
-        count=len(columns),
-    )
+    fn_table, col_table, odds_table = priors.log_tables()
+    fn_slots, col_slots, odds_slots = space.prior_slots(priors.layout())
+    _, flat_subset, flat_column = space.prior_arrays()
+    odds = odds_table[odds_slots]
     # Sequential accumulation in (subset, fragment) order: identical float
     # addition order to the per-fragment Python sum it replaces.
     subset_prior = np.zeros(len(space.subsets))
     np.add.at(subset_prior, flat_subset, odds[flat_column])
     return (
-        fn_prior[space.fn_index]
-        + col_prior[space.col_index]
+        fn_table[fn_slots][space.fn_index]
+        + col_table[col_slots][space.col_index]
         + subset_prior[space.subset_index]
     )
 

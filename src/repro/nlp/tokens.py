@@ -13,7 +13,7 @@ _TOKEN_RE = re.compile(
     | [,;:()\[\]–—-]  # clause punctuation kept as tokens
     | [.!?]                  # sentence punctuation
     """,
-    re.VERBOSE,
+    re.VERBOSE | re.ASCII,
 )
 
 _PUNCTUATION = set(",;:()[]-–—.!?")
@@ -36,11 +36,16 @@ class Token:
 
     @property
     def is_word(self) -> bool:
-        return bool(re.match(r"[A-Za-z]", self.text))
+        # The tokenizer only emits ASCII tokens (re.ASCII above); a
+        # first-character range check replaces a regex match in the
+        # context-extraction hot loop.
+        first = self.text[:1]
+        return "A" <= first <= "Z" or "a" <= first <= "z"
 
     @property
     def is_number_like(self) -> bool:
-        return bool(re.match(r"\d", self.text))
+        first = self.text[:1]
+        return "0" <= first <= "9"
 
 
 def tokenize_with_punct(text: str) -> list[Token]:

@@ -106,20 +106,38 @@ for _group in _SYNONYM_GROUPS:
         _LOOKUP.setdefault(_word, set()).update(_group - {_word})
 
 
-def synonyms(word: str) -> set[str]:
-    """Synonyms of a word (empty set if the lexicon does not know it).
+#: Memoized lookups (word -> sorted synonym list). The lexicon is static
+#: and the singularization fallback is pure, so the resolved synonyms for
+#: each word can be cached for the life of the process; claim-context
+#: extraction sits in the per-claim hot loop and asks for the same words
+#: constantly. The list is sorted so iteration order (and therefore the
+#: insertion order of downstream keyword-weight dicts) is independent of
+#: the process hash seed.
+_RESOLVED: dict[str, list[str]] = {}
+
+
+def synonym_list(word: str) -> list[str]:
+    """Sorted synonyms of a word (shared cached list — do not mutate).
 
     Falls back to simple singularization so inflected text forms ("bans",
     "salaries") reach the lexicon's base entries.
     """
     lower = word.lower()
-    found = _LOOKUP.get(lower)
-    if found is None:
-        for base in _singular_forms(lower):
-            found = _LOOKUP.get(base)
-            if found is not None:
-                break
-    return set(found or ())
+    cached = _RESOLVED.get(lower)
+    if cached is None:
+        found = _LOOKUP.get(lower)
+        if found is None:
+            for base in _singular_forms(lower):
+                found = _LOOKUP.get(base)
+                if found is not None:
+                    break
+        cached = _RESOLVED[lower] = sorted(found or ())
+    return cached
+
+
+def synonyms(word: str) -> set[str]:
+    """Synonyms of a word (empty set if the lexicon does not know it)."""
+    return set(synonym_list(word))
 
 
 def _singular_forms(word: str) -> list[str]:
