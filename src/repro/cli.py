@@ -8,6 +8,7 @@ Usage::
     python -m repro check --csv data.csv --article a.html --cache-dir .cubecache
     python -m repro corpus-stats
     python -m repro corpus-run --workers 4 --cache-dir .cubecache
+    python -m repro serve --port 8765 --cache-dir .cubecache
 
 ``check`` loads one or more CSV files as tables, verifies the article
 (HTML subset or plain text), and prints spell-checker markup; ``--json``
@@ -16,7 +17,11 @@ statistics of the built-in evaluation corpus; ``corpus-run`` verifies the
 built-in corpus end to end, optionally sharded over worker processes
 (``--workers``, 0 = one per CPU) with a shared persistent cube cache
 (``--cache-dir``), and reports precision/recall/F1, coverage, throughput,
-and cache hit rates.
+and cache hit rates. ``serve`` runs the resident verification service:
+``POST /check`` streams per-claim NDJSON verdicts from a warm checker
+pool with incremental re-checking; ``GET /health`` and ``GET /stats``
+expose service and engine counters (see ARCHITECTURE.md, "Service
+layer").
 """
 
 from __future__ import annotations
@@ -33,10 +38,8 @@ from repro.db.csvio import load_csv
 from repro.db.datadict import load_data_dictionary
 from repro.db.engine import ExecutionBackend, ExecutionMode
 from repro.db.schema import Database
-from repro.db.sql import render_sql
 from repro.errors import ReproError
 from repro.text.document import Document
-from repro.text.htmlparse import parse_html
 
 
 def _worker_count(raw: str) -> int:
@@ -128,6 +131,66 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_run.add_argument(
         "--json", action="store_true", help="emit JSON metrics"
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident verification service (warm pool, NDJSON streaming)",
+        description="Serve POST /check (document + database reference -> "
+        "streamed per-claim NDJSON verdicts), GET /health, and GET /stats "
+        "from a long-running process. Checkers stay warm per database "
+        "content fingerprint; verdicts are memoized per claim so "
+        "resubmitting an edited document re-evaluates only changed claims.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = any free port)"
+    )
+    serve.add_argument(
+        "--hits", type=int, default=20, help="predicate fragments per claim"
+    )
+    serve.add_argument(
+        "--p-true", type=float, default=0.999, help="assumed P(claim correct)"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=[backend.value for backend in ExecutionBackend],
+        default=ExecutionBackend.COLUMNAR.value,
+        help="query-engine backend (see 'check --backend')",
+    )
+    serve.add_argument(
+        "--execution-mode",
+        choices=[mode.value for mode in ExecutionMode],
+        default=ExecutionMode.MERGED_CACHED.value,
+        help="batch execution strategy (Table 6 ladder)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent cube-cell cache shared by all served databases",
+    )
+    serve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the per-claim incremental re-check tier",
+    )
+    serve.add_argument(
+        "--incremental-capacity",
+        type=int,
+        default=16384,
+        metavar="N",
+        help="max memoized claim verdicts before LRU eviction",
+    )
+    serve.add_argument(
+        "--max-databases",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max warm checkers (one per distinct database content + "
+        "dictionary) before LRU eviction",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
     return parser
 
 
@@ -138,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_check(args)
         if args.command == "corpus-run":
             return _run_corpus(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_corpus_stats()
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -178,30 +243,20 @@ def _run_check(args) -> int:
 
 
 def _load_document(path_text: str) -> Document:
+    # One sniffing implementation shared with the service layer: the
+    # served-vs-CLI bit-identity guarantee includes document parsing.
+    from repro.service.protocol import parse_article
+
     path = Path(path_text)
-    text = path.read_text(encoding="utf-8-sig")
-    if "<" in text and ">" in text:
-        return parse_html(text)
-    paragraphs = [p for p in text.split("\n\n") if p.strip()]
-    return Document.from_plain_text(path.stem, paragraphs)
+    return parse_article(path.read_text(encoding="utf-8-sig"), path.stem)
 
 
 def _report_json(report) -> dict:
-    claims = []
-    for verdict in report.verdicts:
-        claims.append(
-            {
-                "text": verdict.claim.mention.text,
-                "sentence": verdict.claim.sentence.text,
-                "claimed_value": verdict.claim.claimed_value,
-                "status": verdict.status.value,
-                "top_query": (
-                    render_sql(verdict.top_query) if verdict.top_query else None
-                ),
-                "top_result": verdict.top_result,
-                "probability_correct": round(verdict.probability_correct, 4),
-            }
-        )
+    # The per-claim shape is shared with the service's NDJSON claim
+    # events, so one-shot and served verdicts compare bit-for-bit.
+    from repro.service.protocol import verdict_payload
+
+    claims = [verdict_payload(verdict) for verdict in report.verdicts]
     return {
         "claims": claims,
         "seconds": round(report.total_seconds, 3),
@@ -269,6 +324,38 @@ def _run_corpus(args) -> int:
         f"memory hit rate {payload['memory_cache_hit_rate']:.1%}, "
         f"disk hit rate {payload['disk_cache_hit_rate']:.1%}"
     )
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.service.server import create_server
+
+    config = AggCheckerConfig(
+        predicate_hits=args.hits,
+        backend=ExecutionBackend(args.backend),
+        execution_mode=ExecutionMode(args.execution_mode),
+        cache_dir=args.cache_dir,
+    ).with_em(p_true=args.p_true)
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        config=config,
+        incremental=not args.no_incremental,
+        incremental_capacity=args.incremental_capacity,
+        max_databases=args.max_databases,
+        verbose=args.verbose,
+    )
+    tier = "off" if args.no_incremental else "on"
+    print(
+        f"repro service listening on {server.url} "
+        f"(incremental re-check {tier}; Ctrl-C drains and stops)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining in-flight requests ...", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 

@@ -10,7 +10,7 @@ Public entry point::
         print(verdict.claim, verdict.status)
 """
 
-from repro.core.checker import AggChecker, CheckReport
+from repro.core.checker import AggChecker, CheckReport, claim_fingerprint
 from repro.core.config import AggCheckerConfig
 from repro.core.interactive import InteractiveSession, Resolution
 from repro.core.verdict import ClaimVerdict, VerdictStatus, render_markup
@@ -19,6 +19,7 @@ __all__ = [
     "AggChecker",
     "AggCheckerConfig",
     "CheckReport",
+    "claim_fingerprint",
     "ClaimVerdict",
     "InteractiveSession",
     "Resolution",

@@ -13,6 +13,7 @@ interactive session need them.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -73,6 +74,45 @@ def _pool_predicate_fragments(scores: dict[Claim, RelevanceScores]) -> None:
                     else:
                         relevance.predicate_ids = None
         relevance._values = None  # predicate values changed
+
+
+def claim_fingerprint(claim: Claim) -> str:
+    """SHA-256 over every document feature the pipeline reads for a claim.
+
+    Covers the mention (surface text, parsed value, token span, percentage
+    flag), the claim sentence, and the full Algorithm-2 keyword context:
+    the previous sentence, the paragraph's first sentence, and the
+    headlines of all enclosing sections. Two claims with equal fingerprints
+    are indistinguishable to matching and candidate construction, so the
+    service layer's incremental re-check tier may reuse one's result for
+    the other (on the same database content and configuration).
+
+    Deliberately excludes the claim ordinal: inserting or editing *other*
+    text must not invalidate an untouched claim.
+    """
+    mention = claim.mention
+    sentence = claim.sentence
+    digest = hashlib.sha256()
+
+    def feed(tag: str, text: str) -> None:
+        digest.update(f"{tag}:{text}\x1e".encode("utf-8", "surrogatepass"))
+
+    feed("mention", mention.text)
+    feed("value", repr(mention.value))
+    feed("span", ",".join(str(index) for index in mention.token_indexes))
+    feed("pct", "1" if mention.is_percentage else "0")
+    feed("sentence", sentence.text)
+    previous = sentence.previous
+    feed("previous", previous.text if previous is not None else "")
+    first = sentence.paragraph.first_sentence
+    feed(
+        "paragraph_start",
+        first.text if first is not None and first is not sentence else "",
+    )
+    for section in sentence.paragraph.section.ancestors():
+        if section.headline:
+            feed("headline", section.headline)
+    return digest.hexdigest()
 
 
 @dataclass

@@ -20,7 +20,7 @@ from repro.db.aggregates import AggregateFunction
 from repro.db.columnar import ColumnarRelation, ExecutionBackend
 from repro.db.csvio import load_csv, load_csv_text
 from repro.db.cube import CubeQuery, CubeResult, execute_cube
-from repro.db.diskcache import DiskCubeCache, database_fingerprint
+from repro.db.diskcache import DiskCubeCache, database_fingerprint, fingerprint_of
 from repro.db.engine import (
     CubeCoverStrategy,
     EngineStats,
@@ -58,6 +58,7 @@ __all__ = [
     "SimpleAggregateQuery",
     "Table",
     "database_fingerprint",
+    "fingerprint_of",
     "execute_cube",
     "execute_query",
     "load_csv",

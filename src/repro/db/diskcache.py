@@ -31,6 +31,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -79,6 +80,29 @@ def _cell_token(cell: Value) -> str:
     if cell is None:
         return f"N{_SEP}"
     return f"{type(cell).__name__}:{cell!r}{_SEP}"
+
+
+#: Fingerprints memoized per live Database object. Databases are immutable
+#: after construction (tables/rows are tuples), so one hash per object is
+#: sound; weak keys mean the memo never extends a database's lifetime.
+_FINGERPRINT_MEMO: "weakref.WeakKeyDictionary[Database, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def fingerprint_of(database: Database) -> str:
+    """Memoized :func:`database_fingerprint` (one content hash per object).
+
+    The engine's disk-cache keys, the service layer's checker pool, and the
+    incremental re-check tier all key state by the same content
+    fingerprint; this shared memo makes sure each Database object is hashed
+    once no matter how many layers ask.
+    """
+    fingerprint = _FINGERPRINT_MEMO.get(database)
+    if fingerprint is None:
+        fingerprint = database_fingerprint(database)
+        _FINGERPRINT_MEMO[database] = fingerprint
+    return fingerprint
 
 
 @dataclass

@@ -179,12 +179,14 @@ class QueryEngine:
         Keys the disk-cache tier: any change to the underlying data (e.g.
         an edited source CSV reloaded into a new database) yields a new
         fingerprint and therefore cold disk-cache keys — stale cube cells
-        are never served.
+        are never served. Shared (memoized) with the service layer's
+        checker pool and incremental tier via
+        :func:`repro.db.diskcache.fingerprint_of`.
         """
         if self._db_fingerprint is None:
-            from repro.db.diskcache import database_fingerprint
+            from repro.db.diskcache import fingerprint_of
 
-            self._db_fingerprint = database_fingerprint(self.database)
+            self._db_fingerprint = fingerprint_of(self.database)
         return self._db_fingerprint
 
     def evaluate_one(self, query: SimpleAggregateQuery) -> Value:

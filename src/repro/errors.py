@@ -67,3 +67,7 @@ class CorpusError(ReproError):
 
 class CheckerError(ReproError):
     """The AggChecker pipeline was driven incorrectly."""
+
+
+class MissingDependencyError(ReproError):
+    """An optional third-party dependency is required for this feature."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
+from repro._compat import np
 
 from repro.db.engine import QueryEngine
 from repro.db.gather import SpaceEvalRequest, SpaceResults

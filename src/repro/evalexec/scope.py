@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
+from repro._compat import np
 
 from repro.db.query import SimpleAggregateQuery
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro._compat import require_numpy
 from repro.db.engine import QueryEngine
 from repro.db.gather import SpaceResults
 from repro.db.query import SimpleAggregateQuery
@@ -76,6 +77,7 @@ def query_and_learn(
     config: EmConfig | None = None,
 ) -> InferenceResult:
     """Infer a query distribution per claim (paper ``QueryAndLearn``)."""
+    require_numpy("EM inference")
     config = config or EmConfig()
     priors = Priors.uniform(catalog) if config.use_priors else None
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
+from repro._compat import np
 
 from repro.db.gather import SpaceResults
 from repro.db.query import SimpleAggregateQuery

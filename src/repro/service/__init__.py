@@ -1,0 +1,47 @@
+"""Verification service layer: the AggChecker as a resident process.
+
+``python -m repro serve`` exposes the verification pipeline over HTTP
+with a warm checker pool, streamed NDJSON verdicts, and an incremental
+re-check tier (see ARCHITECTURE.md, "Service layer")::
+
+    from repro.service import CheckRequest, VerificationService
+
+    service = VerificationService()
+    events = service.check(CheckRequest(
+        csv_paths=("data.csv",), article="Four of the five ...",
+    ))
+"""
+
+from repro.service.incremental import (
+    IncrementalCache,
+    IncrementalStats,
+    config_fingerprint,
+    scope_fingerprint,
+)
+from repro.service.protocol import (
+    CheckRequest,
+    ProtocolError,
+    encode_event,
+    parse_article,
+    verdict_payload,
+)
+from repro.service.server import (
+    VerificationServer,
+    VerificationService,
+    create_server,
+)
+
+__all__ = [
+    "CheckRequest",
+    "IncrementalCache",
+    "IncrementalStats",
+    "ProtocolError",
+    "VerificationServer",
+    "VerificationService",
+    "config_fingerprint",
+    "create_server",
+    "encode_event",
+    "parse_article",
+    "scope_fingerprint",
+    "verdict_payload",
+]

@@ -1,0 +1,479 @@
+"""The resident verification service (``python -m repro serve``).
+
+A stdlib-only HTTP front end over a warm :class:`CheckerPool`: one
+long-running process keeps fragment extraction, compiled fragment
+indexes, the in-memory result cache, and (when configured) the disk cube
+cache hot across requests — the interactive deployment shape of the
+paper's tool, where only the *first* request against a database pays
+startup cost.
+
+Endpoints:
+
+- ``POST /check`` — verify a document against referenced CSV data;
+  streams NDJSON events as verdicts become available (see
+  :mod:`repro.service.protocol`).
+- ``GET /health`` — liveness plus coarse service counters.
+- ``GET /stats`` — merged engine statistics across all pooled checkers
+  (cache tiers, gathered candidates, disk hits) and incremental-tier
+  counters.
+
+Concurrency model: ``ThreadingHTTPServer`` gives one thread per request;
+the pool's per-database entry lock serializes requests that share a
+database (an ``AggChecker`` is not thread-safe) while requests on
+different databases verify fully in parallel. Shutdown is graceful —
+:meth:`VerificationServer.shutdown_gracefully` stops accepting and then
+joins in-flight request threads, so accepted documents always get their
+complete result stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator
+
+from repro.core.checker import AggChecker, claim_fingerprint
+from repro.core.config import AggCheckerConfig
+from repro.db.diskcache import fingerprint_of
+from repro.db.engine import EngineStats
+from repro.errors import ReproError
+from repro.harness.runner import CheckerPool, PoolEntry
+from repro.service.incremental import IncrementalCache, scope_fingerprint
+from repro.service.protocol import (
+    CheckRequest,
+    ProtocolError,
+    claim_event,
+    encode_event,
+    error_event,
+    verdict_payload,
+)
+from repro.text.claims import Claim, detect_claims
+from repro.text.document import Document
+
+#: Hard cap on POST bodies, enforced before any bytes are buffered.
+#: Inline ``tables`` CSV text is a supported field, so bodies can be
+#: legitimately large — but a body must never be allowed to exhaust
+#: server memory before validation even runs.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _PreparedCheck:
+    """Everything resolved before the response stream starts.
+
+    Holds no Database reference: the pool entry's ``keepalive`` already
+    pins the data for as long as the checker lives.
+    """
+
+    def __init__(
+        self,
+        request: CheckRequest,
+        document: Document,
+        entry: PoolEntry,
+        claims: list[Claim],
+        database_fp: str,
+        scope_fp: str,
+    ) -> None:
+        self.request = request
+        self.document = document
+        self.entry = entry
+        self.claims = claims
+        self.database_fp = database_fp
+        self.scope_fp = scope_fp
+
+
+class VerificationService:
+    """Warm, thread-safe verification state shared across requests.
+
+    Separable from the HTTP layer: tests and benchmarks can drive
+    :meth:`prepare`/:meth:`stream` directly, and the handler stays a thin
+    framing shim.
+    """
+
+    def __init__(
+        self,
+        config: AggCheckerConfig | None = None,
+        incremental: bool = True,
+        incremental_capacity: int = 16384,
+        max_databases: int = 64,
+    ) -> None:
+        if max_databases < 1:
+            raise ValueError(f"max_databases must be >= 1, got {max_databases}")
+        self.config = config or AggCheckerConfig()
+        self.pool = CheckerPool(self.config)
+        self.incremental_enabled = incremental
+        self.cache = IncrementalCache(incremental_capacity)
+        self.max_databases = max_databases
+        self.started = time.monotonic()
+        self._counter_lock = threading.Lock()
+        # The reference registry behind {"database": <fingerprint>}
+        # requests. Two token spaces: scope fingerprints (checker
+        # fingerprints — exact: data + dictionary + config) in LRU order,
+        # and database content fingerprints mapping to every scope they
+        # were registered under (ambiguous when the same content was
+        # submitted with different dictionaries). Bounded: checkers pin a
+        # compiled index, result cache, and the full data, so the least
+        # recently used database is evicted past ``max_databases``.
+        self._registry_lock = threading.Lock()
+        self._by_scope: "OrderedDict[str, tuple[str, PoolEntry]]" = (
+            OrderedDict()
+        )
+        self._by_content: dict[str, dict[str, PoolEntry]] = {}
+        self.requests = 0
+        self.claims_served = 0
+        self.claims_from_cache = 0
+        self.request_errors = 0
+
+    def prepare(self, request: CheckRequest) -> _PreparedCheck:
+        """Load data, warm (or reuse) the checker, detect claims.
+
+        Raises :class:`ProtocolError`/:class:`ReproError`/``OSError``
+        *before* any response bytes are committed, so transport errors
+        map cleanly to HTTP status codes.
+        """
+        document = request.load_document()
+        if request.database is not None:
+            database_fp, scope_fp, entry = self._resolve_reference(
+                request.database
+            )
+        else:
+            database = request.load_database()
+            dictionary = request.load_dictionary()
+            database_fp = fingerprint_of(database)
+            scope_fp = scope_fingerprint(database_fp, self.config, dictionary)
+            entry = self.pool.entry_for(
+                ("content", scope_fp),
+                lambda: AggChecker(database, self.config, dictionary),
+                keepalive=database,
+            )
+            self._register(database_fp, scope_fp, entry)
+        claims = detect_claims(document, self.config.claim_detection)
+        with self._counter_lock:
+            self.requests += 1
+        return _PreparedCheck(
+            request, document, entry, claims, database_fp, scope_fp
+        )
+
+    def _resolve_reference(
+        self, token: str
+    ) -> tuple[str, str, PoolEntry]:
+        """Map a fingerprint reference to its registered checker.
+
+        Accepts either a checker fingerprint (exact) or a database
+        content fingerprint. The latter is rejected as ambiguous when the
+        same content was registered under more than one data dictionary —
+        a reference must never silently bind to a different dictionary
+        than the client registered with.
+        """
+        with self._registry_lock:
+            by_scope = self._by_scope.get(token)
+            if by_scope is not None:
+                self._by_scope.move_to_end(token)
+                database_fp, entry = by_scope
+                return database_fp, token, entry
+            scopes = self._by_content.get(token)
+            if scopes is not None:
+                if len(scopes) > 1:
+                    raise ReproError(
+                        f"database fingerprint {token[:16]}... is "
+                        f"registered under {len(scopes)} different data "
+                        "dictionaries; reference the exact "
+                        "'checker_fingerprint' from a start/summary event"
+                    )
+                scope_fp, entry = next(iter(scopes.items()))
+                self._by_scope.move_to_end(scope_fp)
+                return token, scope_fp, entry
+        raise ReproError(
+            f"unknown database fingerprint {token[:16]}...: register the "
+            "data first by submitting its 'csv' paths or inline 'tables'"
+        )
+
+    def _register(
+        self, database_fp: str, scope_fp: str, entry: PoolEntry
+    ) -> None:
+        with self._registry_lock:
+            self._by_scope[scope_fp] = (database_fp, entry)
+            self._by_scope.move_to_end(scope_fp)
+            self._by_content.setdefault(database_fp, {})[scope_fp] = entry
+            while len(self._by_scope) > self.max_databases:
+                old_scope, (old_db, _) = self._by_scope.popitem(last=False)
+                content_scopes = self._by_content.get(old_db)
+                if content_scopes is not None:
+                    content_scopes.pop(old_scope, None)
+                    if not content_scopes:
+                        del self._by_content[old_db]
+                # In-flight requests holding the entry finish unaffected;
+                # the checker is garbage once they drain. Re-submitting
+                # the data rebuilds it (incremental-tier entries survive:
+                # they are keyed by the stable scope fingerprint).
+                self.pool.discard(("content", old_scope))
+
+    def stream(self, prepared: _PreparedCheck) -> Iterator[dict]:
+        """Yield the NDJSON event sequence for one prepared request.
+
+        Cached verdicts are emitted immediately; the remaining claims are
+        then verified as one batch against the warm checker (holding its
+        database's lock) and emitted as they are read off the report.
+        """
+        started = time.perf_counter()
+        use_cache = self.incremental_enabled and prepared.request.incremental
+        claims = prepared.claims
+        yield {
+            "event": "start",
+            "document": prepared.document.title,
+            "claims": len(claims),
+            "database_fingerprint": prepared.database_fp,
+            "checker_fingerprint": prepared.scope_fp,
+            "incremental": use_cache,
+        }
+
+        fresh: list[tuple[int, Claim, tuple[str, str] | None]] = []
+        statuses: list[str | None] = [None] * len(claims)
+        cached_count = 0
+        for index, claim in enumerate(claims):
+            if not use_cache:  # don't hash contexts for an unused key
+                fresh.append((index, claim, None))
+                continue
+            key = (prepared.scope_fp, claim_fingerprint(claim))
+            payload = self.cache.get(key)
+            if payload is not None:
+                statuses[index] = payload["status"]
+                cached_count += 1
+                yield claim_event(index, payload, cached=True)
+            else:
+                fresh.append((index, claim, key))
+
+        stats_delta = EngineStats()
+        if fresh:
+            checker = prepared.entry.checker
+            assert checker is not None
+            with prepared.entry.lock:
+                report = checker.check_claims(
+                    prepared.document, [claim for _, claim, _ in fresh]
+                )
+            stats_delta = report.engine_stats
+            for (index, _, key), verdict in zip(fresh, report.verdicts):
+                payload = verdict_payload(verdict)
+                statuses[index] = payload["status"]
+                if key is not None:
+                    self.cache.put(key, payload)
+                yield claim_event(index, payload, cached=False)
+
+        seconds = time.perf_counter() - started
+        with self._counter_lock:
+            self.claims_served += len(claims)
+            self.claims_from_cache += cached_count
+        flagged = sum(1 for status in statuses if status != "verified")
+        yield {
+            "event": "summary",
+            "claims": len(claims),
+            "flagged": flagged,
+            "cached_claims": cached_count,
+            "evaluated_claims": len(fresh),
+            "seconds": round(seconds, 4),
+            "database_fingerprint": prepared.database_fp,
+            "checker_fingerprint": prepared.scope_fp,
+            "engine": asdict(stats_delta),
+        }
+
+    def check(self, request: CheckRequest) -> list[dict]:
+        """Convenience: the full event list of one request (no HTTP)."""
+        return list(self.stream(self.prepare(request)))
+
+    def health(self) -> dict:
+        with self._counter_lock:
+            requests = self.requests
+            claims_served = self.claims_served
+            claims_from_cache = self.claims_from_cache
+            request_errors = self.request_errors
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "databases": len(self.pool),
+            "requests": requests,
+            "claims_served": claims_served,
+            "claims_from_cache": claims_from_cache,
+            "request_errors": request_errors,
+            "incremental": {
+                "enabled": self.incremental_enabled,
+                "entries": len(self.cache),
+                "hit_rate": round(self.cache.stats.hit_rate(), 4),
+            },
+        }
+
+    def stats(self) -> dict:
+        """Merged :class:`EngineStats` across pooled checkers + cache tiers."""
+        engine = self.pool.stats_snapshot()
+        payload = self.health()
+        payload["engine"] = asdict(engine)
+        payload["engine"]["memory_cache_hit_rate"] = round(
+            engine.cache_hit_rate(), 4
+        )
+        payload["engine"]["disk_cache_hit_rate"] = round(
+            engine.disk_hit_rate(), 4
+        )
+        cache_stats = self.cache.stats
+        payload["incremental"].update(
+            hits=cache_stats.hits,
+            misses=cache_stats.misses,
+            stores=cache_stats.stores,
+            evictions=cache_stats.evictions,
+        )
+        return payload
+
+    def note_error(self) -> None:
+        with self._counter_lock:
+            self.request_errors += 1
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP framing over :class:`VerificationService`.
+
+    HTTP/1.0 close-delimited responses: the /check stream has no known
+    length up front, and end-of-body == connection close keeps every
+    stdlib client (urllib, http.client, sockets) able to read events as
+    they arrive.
+    """
+
+    server: "VerificationServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/health":
+            self._send_json(200, self.server.service.health())
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        service = self.server.service
+        if self.path != "/check":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            service.note_error()
+            self._send_json(411, {"error": "Content-Length required"})
+            return
+        if length > MAX_BODY_BYTES:
+            service.note_error()
+            self._send_json(
+                413,
+                {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                },
+            )
+            return
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            service.note_error()
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            request = CheckRequest.from_json(payload)
+            prepared = service.prepare(request)
+        except ProtocolError as error:
+            service.note_error()
+            self._send_json(400, {"error": str(error)})
+            return
+        except (ReproError, OSError) as error:
+            service.note_error()
+            self._send_json(422, {"error": str(error)})
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        try:
+            for event in service.stream(prepared):
+                self.wfile.write(encode_event(event))
+                self.wfile.flush()
+        except (ReproError, OSError, ValueError) as error:
+            # The status line is committed; report in-band and close.
+            service.note_error()
+            try:
+                self.wfile.write(encode_event(error_event(str(error))))
+                self.wfile.flush()
+            except OSError:
+                pass  # client hung up mid-stream
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            sys.stderr.write(
+                "%s - - [%s] %s\n"
+                % (self.address_string(), self.log_date_time_string(),
+                   format % args)
+            )
+
+
+class VerificationServer(ThreadingHTTPServer):
+    """Threaded HTTP server that drains in-flight requests on close.
+
+    ``daemon_threads`` is False (unlike stock ``ThreadingHTTPServer``):
+    with ``block_on_close`` this makes :meth:`server_close` join every
+    request thread, so shutdown never truncates a verdict stream.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: VerificationService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _RequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_gracefully(self) -> None:
+        """Stop accepting, then block until in-flight requests complete.
+
+        Must be called from a thread other than the one running
+        :meth:`serve_forever` (the standard ``shutdown`` contract).
+        """
+        self.shutdown()
+        self.server_close()
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    config: AggCheckerConfig | None = None,
+    incremental: bool = True,
+    incremental_capacity: int = 16384,
+    max_databases: int = 64,
+    verbose: bool = False,
+) -> VerificationServer:
+    """Bind a :class:`VerificationServer` (port 0 picks a free port)."""
+    service = VerificationService(
+        config, incremental=incremental,
+        incremental_capacity=incremental_capacity,
+        max_databases=max_databases,
+    )
+    return VerificationServer((host, port), service, verbose=verbose)

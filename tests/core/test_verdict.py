@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # the model layer has no pure-Python fallback
 
 from repro.core.verdict import VerdictStatus, make_verdict, render_markup
 from repro.db import AggregateFunction, AggregateSpec, STAR

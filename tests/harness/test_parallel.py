@@ -169,6 +169,49 @@ class TestCheckerPool:
         totals.merge(second.report.engine_stats)
         assert totals == checker.engine.stats
 
+    def test_stats_snapshot_merges_all_pooled_engines(self):
+        pool = CheckerPool()
+        first = pool.run(nfl_suspensions_case())
+        second = pool.run(nfl_suspensions_case(stale=True))
+        snapshot = pool.stats_snapshot()
+        totals = EngineStats()
+        totals.merge(first.report.engine_stats)
+        totals.merge(second.report.engine_stats)
+        assert snapshot == totals
+        # Snapshots are copies: mutating one must not touch pool state.
+        snapshot.physical_queries += 1000
+        assert pool.stats_snapshot() != snapshot
+
+    def test_entry_for_builds_once_under_concurrency(self):
+        import threading
+
+        case = nfl_suspensions_case()
+        pool = CheckerPool()
+        builds = []
+        barrier = threading.Barrier(4)
+
+        def factory():
+            from repro.core import AggChecker
+
+            builds.append(1)
+            return AggChecker(case.database, pool.config, case.data_dictionary)
+
+        entries = []
+
+        def worker():
+            barrier.wait()
+            entries.append(pool.entry_for("shared-key", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1
+        assert len({id(entry) for entry in entries}) == 1
+        assert entries[0].checker is not None
+        assert len(pool) == 1
+
 
 class TestRunLadder:
     def test_ladder_shares_cache_dir(self, corpus, tmp_path):

@@ -311,6 +311,7 @@ class TestAlignedArrays:
 
 
 class TestCorpusRegression:
+    @pytest.mark.needs_numpy
     def test_run_corpus_identical_with_batching_on_and_off(self):
         from repro.core.config import AggCheckerConfig
         from repro.corpus.generator import CorpusConfig, generate_corpus

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # the model layer has no pure-Python fallback
 
 from repro.db import AggregateFunction
 from repro.fragments import FragmentIndex, extract_fragments

@@ -1,0 +1,582 @@
+"""End-to-end service tests: a live server on a loopback port.
+
+Covers the PR's acceptance points: concurrent requests produce verdicts
+bit-identical to the one-shot ``check`` CLI, the incremental tier
+invalidates on CSV edits (content fingerprint change), the NDJSON
+streaming protocol frames correctly on the wire, and graceful shutdown
+drains in-flight requests. Skipped wholesale on the no-NumPy CI leg (the
+pipeline needs the model layer) via the path rule in tests/conftest.py.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import AggCheckerConfig
+from repro.service import CheckRequest, VerificationService, create_server
+
+NFL_CSV = """Name,Team,Games,Category,Year
+Ray Rice,BAL,2,domestic violence,2014
+Art Schlichter,BAL,indef,gambling,1983
+Stanley Wilson,CIN,indef,"substance abuse, repeated offense",1989
+Dexter Manley,WAS,indef,"substance abuse, repeated offense",1991
+Roy Tarpley,DAL,indef,"substance abuse, repeated offense",1995
+Josh Gordon,CLE,16,substance abuse,2014
+"""
+
+SALES_CSV = """product,region,units,price
+widget,north,4,10
+widget,south,6,12
+gadget,north,3,30
+gadget,south,7,25
+sprocket,north,5,8
+"""
+
+NFL_ARTICLE = """
+<title>Punishing players</title>
+<h1>Lifetime bans</h1>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+"""
+
+SALES_ARTICLE = (
+    "We sold five kinds of items across two regions.\n\n"
+    "The north region moved 12 units in total."
+)
+
+
+@pytest.fixture()
+def data_files(tmp_path):
+    nfl = tmp_path / "nflsuspensions.csv"
+    nfl.write_text(NFL_CSV)
+    sales = tmp_path / "sales.csv"
+    sales.write_text(SALES_CSV)
+    nfl_article = tmp_path / "nfl_article.html"
+    nfl_article.write_text(NFL_ARTICLE)
+    sales_article = tmp_path / "sales_article.txt"
+    sales_article.write_text(SALES_ARTICLE)
+    return {
+        "nfl": nfl,
+        "sales": sales,
+        "nfl_article": nfl_article,
+        "sales_article": sales_article,
+    }
+
+
+@pytest.fixture()
+def server():
+    instance = create_server(port=0)
+    thread = threading.Thread(target=instance.serve_forever)
+    thread.start()
+    try:
+        yield instance
+    finally:
+        instance.shutdown_gracefully()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+def post_check(url: str, payload: dict) -> list[dict]:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/check", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        return [json.loads(line) for line in response.read().splitlines()]
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def cli_claims(capsys, csv_path, article_path) -> list[dict]:
+    """The ``check --json`` per-claim payloads (the bit-identity oracle)."""
+    code = cli_main(
+        ["check", "--csv", str(csv_path), "--article", str(article_path),
+         "--json"]
+    )
+    assert code in (0, 1)
+    return json.loads(capsys.readouterr().out)["claims"]
+
+
+def claims_of(events: list[dict]) -> list[dict]:
+    ordered = sorted(
+        (e for e in events if e["event"] == "claim"), key=lambda e: e["index"]
+    )
+    assert [e["index"] for e in ordered] == list(range(len(ordered)))
+    return [e["claim"] for e in ordered]
+
+
+class TestConcurrentBitIdentity:
+    def test_concurrent_requests_match_one_shot_cli(
+        self, server, data_files, capsys
+    ):
+        """Many parallel requests across two databases == the CLI, bit for bit."""
+        jobs = {
+            "nfl": {
+                "csv": [str(data_files["nfl"])],
+                "article_path": str(data_files["nfl_article"]),
+            },
+            "sales": {
+                "csv": [str(data_files["sales"])],
+                "article_path": str(data_files["sales_article"]),
+            },
+        }
+        results: dict[tuple[str, int], list[dict]] = {}
+        errors: list[BaseException] = []
+
+        def run(name: str, attempt: int) -> None:
+            try:
+                results[(name, attempt)] = post_check(server.url, jobs[name])
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(name, attempt))
+            for attempt in range(3)
+            for name in jobs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+        oracles = {
+            "nfl": cli_claims(
+                capsys, data_files["nfl"], data_files["nfl_article"]
+            ),
+            "sales": cli_claims(
+                capsys, data_files["sales"], data_files["sales_article"]
+            ),
+        }
+        for (name, _), events in results.items():
+            assert claims_of(events) == oracles[name]
+        health = get_json(server.url + "/health")
+        assert health["requests"] == 6
+        assert health["databases"] == 2
+
+    def test_database_reference_serves_from_registered_checker(
+        self, server, data_files
+    ):
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+            "incremental": False,
+        }
+        first = post_check(server.url, payload)
+        fingerprint = first[0]["database_fingerprint"]
+        by_reference = post_check(
+            server.url,
+            {
+                "database": fingerprint,
+                "article_path": str(data_files["nfl_article"]),
+                "incremental": False,
+            },
+        )
+        assert claims_of(by_reference) == claims_of(first)
+        assert by_reference[0]["database_fingerprint"] == fingerprint
+        assert get_json(server.url + "/health")["databases"] == 1
+
+    def test_checker_fingerprint_pins_dictionary_exactly(
+        self, server, data_files, tmp_path
+    ):
+        """Same CSV content under two dictionaries: the content
+        fingerprint becomes ambiguous, the checker fingerprint stays
+        exact."""
+        dict_a = tmp_path / "dict_a.csv"
+        dict_a.write_text("column,description\nGames,suspension length\n")
+        dict_b = tmp_path / "dict_b.csv"
+        dict_b.write_text("column,description\nGames,match count\n")
+        base = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+        }
+        first = post_check(server.url, dict(base, data_dict_path=str(dict_a)))
+        second = post_check(server.url, dict(base, data_dict_path=str(dict_b)))
+        assert (
+            first[0]["database_fingerprint"]
+            == second[0]["database_fingerprint"]
+        )
+        assert (
+            first[0]["checker_fingerprint"] != second[0]["checker_fingerprint"]
+        )
+
+        # The content fingerprint is now ambiguous -> 422 with guidance.
+        body = json.dumps(
+            {
+                "database": first[0]["database_fingerprint"],
+                "article_path": str(data_files["nfl_article"]),
+            }
+        ).encode()
+        request = urllib.request.Request(
+            server.url + "/check", data=body, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 422
+        assert b"checker_fingerprint" in excinfo.value.read()
+
+        # The checker fingerprints still resolve, each to its own scope.
+        for events in (first, second):
+            replay = post_check(
+                server.url,
+                {
+                    "database": events[0]["checker_fingerprint"],
+                    "article_path": str(data_files["nfl_article"]),
+                },
+            )
+            assert (
+                replay[0]["checker_fingerprint"]
+                == events[0]["checker_fingerprint"]
+            )
+            assert claims_of(replay) == claims_of(events)
+
+    def test_lru_eviction_bounds_warm_checkers(self, data_files):
+        instance = create_server(port=0, max_databases=1)
+        thread = threading.Thread(target=instance.serve_forever)
+        thread.start()
+        try:
+            nfl = {
+                "csv": [str(data_files["nfl"])],
+                "article_path": str(data_files["nfl_article"]),
+            }
+            first = post_check(instance.url, nfl)
+            post_check(
+                instance.url,
+                {
+                    "csv": [str(data_files["sales"])],
+                    "article_path": str(data_files["sales_article"]),
+                },
+            )
+            # The NFL checker was evicted: pool holds one database ...
+            assert get_json(instance.url + "/health")["databases"] == 1
+            # ... its stale reference is rejected ...
+            body = json.dumps(
+                {
+                    "database": first[0]["database_fingerprint"],
+                    "article_path": str(data_files["nfl_article"]),
+                }
+            ).encode()
+            request = urllib.request.Request(
+                instance.url + "/check", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 422
+            # ... and resubmitting rebuilds with identical verdicts,
+            # served straight from the surviving incremental tier.
+            again = post_check(instance.url, nfl)
+            assert claims_of(again) == claims_of(first)
+            assert all(
+                e["cached"] for e in again if e["event"] == "claim"
+            )
+        finally:
+            instance.shutdown_gracefully()
+            thread.join(timeout=10)
+
+    def test_unknown_database_reference_is_rejected(self, server, data_files):
+        body = json.dumps(
+            {"database": "f" * 64, "article": "Four things."}
+        ).encode()
+        request = urllib.request.Request(
+            server.url + "/check", data=body, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 422
+        assert b"unknown database fingerprint" in excinfo.value.read()
+
+    def test_warm_pool_keyed_by_content_not_path(self, server, data_files, tmp_path):
+        copy = tmp_path / "renamed"
+        copy.mkdir()
+        copied_csv = copy / "nflsuspensions.csv"
+        copied_csv.write_text(NFL_CSV)
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+        }
+        post_check(server.url, payload)
+        payload["csv"] = [str(copied_csv)]
+        post_check(server.url, payload)
+        # Same content fingerprint -> one pooled checker, not two.
+        assert get_json(server.url + "/health")["databases"] == 1
+
+
+class TestIncrementalTier:
+    def test_resubmission_serves_from_cache_and_matches(self, server, data_files):
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+        }
+        first = post_check(server.url, payload)
+        second = post_check(server.url, payload)
+        assert all(not e["cached"] for e in first if e["event"] == "claim")
+        assert all(e["cached"] for e in second if e["event"] == "claim")
+        assert claims_of(first) == claims_of(second)
+        summary = second[-1]
+        assert summary["evaluated_claims"] == 0
+        assert summary["engine"]["physical_queries"] == 0
+
+    def test_csv_edit_invalidates_by_fingerprint(
+        self, server, data_files, capsys
+    ):
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+        }
+        first = post_check(server.url, payload)
+        # Remove a row: the database content fingerprint must change.
+        edited = NFL_CSV.replace(
+            "Art Schlichter,BAL,indef,gambling,1983\n", ""
+        )
+        data_files["nfl"].write_text(edited)
+        second = post_check(server.url, payload)
+
+        assert second[0]["database_fingerprint"] != first[0]["database_fingerprint"]
+        # Every claim re-evaluated: the old fingerprint keys are unreachable.
+        assert all(not e["cached"] for e in second if e["event"] == "claim")
+        assert second[-1]["engine"]["physical_queries"] > 0
+        # ... and against the *new* data: identical to a cold CLI run on it.
+        assert claims_of(second) == cli_claims(
+            capsys, data_files["nfl"], data_files["nfl_article"]
+        )
+        # Two distinct database contents are now pooled.
+        assert get_json(server.url + "/health")["databases"] == 2
+
+    def test_document_edit_reevaluates_only_changed_claims(
+        self, server, data_files, tmp_path
+    ):
+        article = tmp_path / "edit.txt"
+        article.write_text(
+            "There were four previous lifetime bans in my database.\n\n"
+            "Exactly one was for gambling."
+        )
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(article),
+        }
+        first = post_check(server.url, payload)
+        assert len(claims_of(first)) == 2
+
+        article.write_text(
+            "There were nine previous lifetime bans in my database.\n\n"
+            "Exactly one was for gambling."
+        )
+        second = post_check(server.url, payload)
+        by_index = {
+            e["index"]: e for e in second if e["event"] == "claim"
+        }
+        assert by_index[0]["cached"] is False  # the edited sentence
+        assert by_index[1]["cached"] is True  # untouched paragraph
+        assert by_index[0]["claim"]["status"] == "erroneous"
+        assert second[-1]["evaluated_claims"] == 1
+        assert second[-1]["cached_claims"] == 1
+
+    def test_incremental_opt_out_per_request(self, server, data_files):
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+            "incremental": False,
+        }
+        first = post_check(server.url, payload)
+        second = post_check(server.url, payload)
+        for events in (first, second):
+            assert all(not e["cached"] for e in events if e["event"] == "claim")
+        assert claims_of(first) == claims_of(second)
+
+
+class TestStreamingProtocol:
+    def test_wire_framing(self, server, data_files):
+        """Read the raw socket: headers, then one JSON object per line."""
+        body = json.dumps(
+            {
+                "csv": [str(data_files["nfl"])],
+                "article_path": str(data_files["nfl_article"]),
+            }
+        ).encode("utf-8")
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            request = (
+                b"POST /check HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n"
+            ) + body
+            sock.sendall(request)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        headers, _, payload = raw.partition(b"\r\n\r\n")
+        assert b" 200 " in headers.splitlines()[0]
+        assert b"application/x-ndjson" in headers
+        lines = payload.split(b"\n")
+        assert lines[-1] == b""  # every event line is newline-terminated
+        events = [json.loads(line) for line in lines[:-1]]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "summary"
+        assert set(kinds[1:-1]) == {"claim"}
+        assert events[0]["claims"] == len(kinds) - 2
+
+    def test_cached_claims_stream_before_fresh_work(self, server, data_files):
+        """Events are ordered cached-first: instant feedback on warm claims."""
+        article = data_files["sales_article"]
+        payload = {
+            "csv": [str(data_files["sales"])],
+            "article_path": str(article),
+        }
+        post_check(server.url, payload)
+        article.write_text(
+            "We sold five kinds of items across two regions.\n\n"
+            "The north region moved 999 units in total."
+        )
+        events = post_check(server.url, payload)
+        claim_events = [e for e in events if e["event"] == "claim"]
+        cached_positions = [
+            i for i, e in enumerate(claim_events) if e["cached"]
+        ]
+        fresh_positions = [
+            i for i, e in enumerate(claim_events) if not e["cached"]
+        ]
+        assert cached_positions and fresh_positions
+        assert max(cached_positions) < min(fresh_positions)
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_request(self, data_files):
+        instance = create_server(port=0)
+        thread = threading.Thread(target=instance.serve_forever)
+        thread.start()
+        results: list[list[dict]] = []
+        errors: list[BaseException] = []
+
+        def client() -> None:
+            try:
+                results.append(
+                    post_check(
+                        instance.url,
+                        {
+                            "csv": [str(data_files["nfl"])],
+                            "article_path": str(data_files["nfl_article"]),
+                        },
+                    )
+                )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        request_thread = threading.Thread(target=client)
+        request_thread.start()
+        time.sleep(0.05)  # let the cold request get in flight
+        instance.shutdown_gracefully()  # must block until the stream is done
+        thread.join(timeout=10)
+        request_thread.join(timeout=10)
+        assert not errors
+        assert len(results) == 1
+        events = results[0]
+        assert events[0]["event"] == "start"
+        assert events[-1]["event"] == "summary"
+        assert events[-1]["claims"] == len(events) - 2
+
+    def test_no_new_connections_after_shutdown(self, data_files):
+        instance = create_server(port=0)
+        thread = threading.Thread(target=instance.serve_forever)
+        thread.start()
+        url = instance.url
+        assert get_json(url + "/health")["status"] == "ok"
+        instance.shutdown_gracefully()
+        thread.join(timeout=10)
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            get_json(url + "/health")
+
+
+class TestServiceSurface:
+    def test_health_and_stats_counters(self, server, data_files):
+        payload = {
+            "csv": [str(data_files["nfl"])],
+            "article_path": str(data_files["nfl_article"]),
+        }
+        post_check(server.url, payload)
+        post_check(server.url, payload)
+        stats = get_json(server.url + "/stats")
+        assert stats["status"] == "ok"
+        assert stats["requests"] == 2
+        assert stats["claims_served"] == 2 * stats["claims_from_cache"]
+        engine = stats["engine"]
+        assert engine["physical_queries"] > 0
+        assert 0.0 <= engine["memory_cache_hit_rate"] <= 1.0
+        incremental = stats["incremental"]
+        assert incremental["enabled"] is True
+        assert incremental["entries"] == stats["claims_from_cache"]
+        assert incremental["hits"] == stats["claims_from_cache"]
+
+    def test_error_statuses(self, server, data_files):
+        def status_of(method, path, body=None, headers=None):
+            request = urllib.request.Request(
+                server.url + path, data=body, method=method,
+                headers=headers or {},
+            )
+            try:
+                with urllib.request.urlopen(request) as response:
+                    return response.status
+            except urllib.error.HTTPError as error:
+                return error.code
+
+        assert status_of("GET", "/nope") == 404
+        assert status_of("POST", "/nope", b"{}") == 404
+        assert status_of("POST", "/check", b"not json") == 400
+        assert (
+            status_of("POST", "/check", json.dumps({"article": "x"}).encode())
+            == 400
+        )
+        missing = json.dumps(
+            {"csv": ["/nonexistent/gone.csv"], "article": "Four things."}
+        ).encode()
+        assert status_of("POST", "/check", missing) == 422
+        health = get_json(server.url + "/health")
+        # Routing 404s are not client payload errors; the other three are.
+        assert health["request_errors"] == 3
+
+    def test_oversized_body_rejected_before_buffering(self, server):
+        from repro.service.server import MAX_BODY_BYTES
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /check HTTP/1.1\r\nHost: localhost\r\n"
+                b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\nConnection: close\r\n\r\n"
+            )
+            status_line = b""
+            while not status_line.endswith(b"\r\n"):
+                chunk = sock.recv(1)
+                if not chunk:
+                    break
+                status_line += chunk
+        assert b" 413 " in status_line
+
+    def test_in_process_service_facade(self, data_files):
+        service = VerificationService(AggCheckerConfig())
+        events = service.check(
+            CheckRequest(
+                csv_paths=(str(data_files["nfl"]),),
+                article=NFL_ARTICLE,
+            )
+        )
+        assert events[0]["event"] == "start"
+        assert events[-1]["event"] == "summary"
+        assert service.requests == 1

@@ -115,6 +115,31 @@ class TestCheckCommand:
         assert code in (0, 1)
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert args.no_incremental is False
+        assert args.incremental_capacity == 16384
+
+    def test_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--no-incremental",
+                "--cache-dir", ".cubecache", "--backend", "row",
+            ]
+        )
+        assert args.port == 0
+        assert args.no_incremental is True
+        assert args.cache_dir == ".cubecache"
+        assert args.backend == "row"
+
+
 class TestCorpusStats:
     def test_prints_statistics(self, capsys):
         code = main(["corpus-stats"])
