@@ -274,3 +274,76 @@ def test_service_throughput(capsys, tmp_path):
     if numpy_available() and full_size:
         assert warm_speedup >= 1.5, payload
         assert incremental_speedup_vs_warm >= 3.0, payload
+
+
+def test_service_resilience_smoke(tmp_path):
+    """Liveness under a poisoned in-flight request (writes no JSON).
+
+    One request is slowed and poisoned via injected faults; while it is
+    in flight, ``GET /health`` must keep answering (monitoring never
+    queues behind verification), and the poisoned stream itself must
+    still run to its summary with the bad claim isolated as an error
+    event. Deliberately separate from the throughput benchmark so
+    ``BENCH_service.json`` and its regression ratios never include
+    fault-injected timings.
+    """
+    import urllib.error
+
+    from repro.faults import FaultSpec, active
+
+    csv_path = tmp_path / "records.csv"
+    article_path = tmp_path / "report.html"
+    _write_database_csv(csv_path, rows=200, seed=100)
+    _write_article(article_path, 0, claims=4, seed=200)
+
+    server = create_server(port=0)
+    thread = threading.Thread(target=server.serve_forever)
+    thread.start()
+    results: list[list[dict]] = []
+    errors: list[BaseException] = []
+
+    def poisoned_client() -> None:
+        try:
+            results.append(
+                _post_check(
+                    server.url,
+                    {
+                        "csv": [str(csv_path)],
+                        "article_path": str(article_path),
+                    },
+                )
+            )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    try:
+        # The sleep stalls the joint batch (one firing) so health probes
+        # overlap a busy server; the raise budget of 2 poisons the joint
+        # batch AND the first claim's isolated fallback, so exactly one
+        # claim surfaces as an error event.
+        with active(
+            FaultSpec("checker.stage", "sleep", match="match",
+                      seconds=1.0, times=1),
+            FaultSpec("checker.claim", "raise", match="*", times=2),
+        ):
+            client = threading.Thread(target=poisoned_client)
+            client.start()
+            deadline = time.perf_counter() + 30
+            probes = 0
+            while client.is_alive() and time.perf_counter() < deadline:
+                with urllib.request.urlopen(
+                    server.url + "/health", timeout=5
+                ) as response:
+                    health = json.loads(response.read())
+                assert health["status"] in ("ok", "degraded")
+                probes += 1
+                time.sleep(0.05)
+            client.join(timeout=60)
+        assert probes > 0
+        assert not errors
+        assert results and results[0][-1]["event"] == "summary"
+        assert results[0][-1]["errors"] == 1
+        assert [e for e in results[0] if e["event"] == "error"]
+    finally:
+        server.shutdown_gracefully()
+        thread.join(timeout=30)

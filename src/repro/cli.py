@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         "safe to share across runs and concurrent processes)",
     )
     check.add_argument(
+        "--claim-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-claim verification budget; past it, verdicts degrade "
+        "(reduced scope -> no execution -> unverifiable) instead of "
+        "the run hanging",
+    )
+    check.add_argument(
         "--json", action="store_true", help="emit a JSON report"
     )
 
@@ -127,6 +135,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="persistent cube-cell cache shared by all workers and runs",
+    )
+    corpus_run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="persist partial results here after every case/shard "
+        "(atomic; survives kills)",
+    )
+    corpus_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting over "
+        "(refused if the checkpoint belongs to different work)",
+    )
+    corpus_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per case before quarantine when a worker crashes "
+        "(parallel runs only; default: 3)",
     )
     corpus_run.add_argument(
         "--json", action="store_true", help="emit JSON metrics"
@@ -189,6 +217,21 @@ def build_parser() -> argparse.ArgumentParser:
         "dictionary) before LRU eviction",
     )
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max concurrent /check requests before shedding with 429 + "
+        "Retry-After (default: 8)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per /check request; past it, verdicts "
+        "degrade instead of the request holding a slot indefinitely",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
@@ -220,6 +263,7 @@ def _run_check(args) -> int:
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
+        claim_deadline=args.claim_deadline,
     )
     config = config.with_em(p_true=args.p_true)
     checker = AggChecker(database, config, dictionary)
@@ -272,13 +316,17 @@ def _run_corpus(args) -> int:
 
     import time
 
-    from repro.harness.parallel import resolve_workers
+    from repro.harness.parallel import RetryPolicy, resolve_workers
 
     workers = resolve_workers(args.workers)
     config = AggCheckerConfig(cache_dir=args.cache_dir)
     corpus = generate_corpus()
     started = time.perf_counter()
-    run = run_corpus(corpus, config, limit=args.limit, workers=workers)
+    run = run_corpus(
+        corpus, config, limit=args.limit, workers=workers,
+        checkpoint=args.checkpoint, resume=args.resume,
+        retry=RetryPolicy(max_attempts=args.max_retries),
+    )
     wall_seconds = time.perf_counter() - started
     metrics = run.metrics
     stats = run.engine_stats
@@ -302,11 +350,20 @@ def _run_corpus(args) -> int:
         "cube_queries": stats.cube_queries,
         "memory_cache_hit_rate": round(stats.cache_hit_rate(), 4),
         "disk_cache_hit_rate": round(stats.disk_hit_rate(), 4),
+        "quarantined": len(run.quarantined),
+        "quarantined_cases": {
+            str(index): error for index, error in run.quarantined.items()
+        },
     }
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
     print(f"cases: {payload['cases']}, claims: {payload['claims']}")
+    if run.quarantined:
+        print(
+            f"quarantined: {len(run.quarantined)} case(s) exhausted their "
+            f"retry budget: {sorted(run.quarantined)}"
+        )
     print(
         f"precision: {payload['precision']:.3f}, "
         f"recall: {payload['recall']:.3f}, f1: {payload['f1']:.3f}"
@@ -343,6 +400,8 @@ def _run_serve(args) -> int:
         incremental=not args.no_incremental,
         incremental_capacity=args.incremental_capacity,
         max_databases=args.max_databases,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
         verbose=args.verbose,
     )
     tier = "off" if args.no_incremental else "on"

@@ -53,6 +53,13 @@ class AggCheckerConfig:
     #: runs: entries are keyed by database *content* fingerprint, so data
     #: edits invalidate automatically.
     cache_dir: str | None = None
+    #: Wall-clock execution budget per claim, in seconds (None = no
+    #: deadline). A document gets ``claim_deadline * n_claims`` (claims
+    #: are verified jointly); when it expires the checker degrades
+    #: stepwise — shrink the evaluation scope, then skip query execution,
+    #: then report claims unverifiable — instead of hanging (see
+    #: ARCHITECTURE.md, "Failure domains & degradation ladder").
+    claim_deadline: float | None = None
 
     def with_em(self, **changes) -> "AggCheckerConfig":
         return replace(self, em=replace(self.em, **changes))

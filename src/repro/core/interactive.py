@@ -63,13 +63,23 @@ class InteractiveSession:
         self.engine = engine
         self._resolutions: dict[tuple[str, int], Resolution] = {}
 
+    def _distribution_of(self, claim: Claim):
+        distribution = self.report.verdict_for(claim).distribution
+        if distribution is None:
+            raise CheckerError(
+                "claim timed out during verification (unverifiable verdict "
+                "carries no candidate distribution); re-check without a "
+                "deadline to interact with it"
+            )
+        return distribution
+
     # -- inspection ------------------------------------------------------
 
     def suggestions(
         self, claim: Claim, k: int = 5
     ) -> list[tuple[SimpleAggregateQuery, str, float]]:
         """Top-k candidates with natural-language descriptions."""
-        distribution = self.report.verdict_for(claim).distribution
+        distribution = self._distribution_of(claim)
         return [
             (query, describe_query(query), probability)
             for query, probability in distribution.top_queries(k)
@@ -93,7 +103,7 @@ class InteractiveSession:
 
     def select_rank(self, claim: Claim, rank: int) -> Resolution:
         """Pick the rank-th candidate (rank 1 = top suggestion)."""
-        distribution = self.report.verdict_for(claim).distribution
+        distribution = self._distribution_of(claim)
         top = distribution.top_queries(rank)
         if len(top) < rank:
             raise CheckerError(
@@ -115,7 +125,7 @@ class InteractiveSession:
     def _resolve(
         self, claim: Claim, query: SimpleAggregateQuery, feature: ResolutionFeature
     ) -> Resolution:
-        distribution = self.report.verdict_for(claim).distribution
+        distribution = self._distribution_of(claim)
         # On the factorized evaluation path this consults the claim's own
         # candidate results; queries outside the claim's space (e.g.
         # another claim's candidate) fall through to the engine below.

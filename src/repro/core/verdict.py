@@ -24,6 +24,9 @@ class VerdictStatus(enum.Enum):
     VERIFIED = "verified"
     ERRONEOUS = "erroneous"
     UNRESOLVED = "unresolved"
+    #: The claim could not be checked within its execution deadline (the
+    #: degradation ladder's last rung, see ``AggChecker._check``).
+    UNVERIFIABLE = "unverifiable"
 
     @property
     def flagged(self) -> bool:
@@ -40,7 +43,12 @@ class ClaimVerdict:
     top_query: SimpleAggregateQuery | None
     top_result: Value
     probability_correct: float
-    distribution: ClaimDistribution
+    #: None only for UNVERIFIABLE verdicts (inference never ran).
+    distribution: ClaimDistribution | None
+    #: How the result was degraded under deadline pressure: None (full
+    #: inference), "scope" (shrunken evaluation budget), "no_exec"
+    #: (query execution skipped), or "timeout" (unverifiable).
+    degraded: str | None = None
 
     @property
     def hover_text(self) -> str:
@@ -52,17 +60,23 @@ class ClaimVerdict:
         return f"{describe_query(self.top_query)} = {rendered}"
 
 
-def make_verdict(claim: Claim, distribution: ClaimDistribution) -> ClaimVerdict:
+def make_verdict(
+    claim: Claim,
+    distribution: ClaimDistribution,
+    degraded: str | None = None,
+) -> ClaimVerdict:
     """Derive the tentative verdict from a claim's query distribution.
 
     Works position-first: only the single most likely candidate is
     materialized into a query object — the rest of the (factorized) space
-    is never touched.
+    is never touched. ``degraded`` tags verdicts produced under deadline
+    pressure (see the checker's degradation ladder).
     """
     position = distribution.top_position()
     if position is None:
         return ClaimVerdict(
-            claim, VerdictStatus.UNRESOLVED, None, None, 0.0, distribution
+            claim, VerdictStatus.UNRESOLVED, None, None, 0.0, distribution,
+            degraded,
         )
     top_query = distribution.space.query_at(position)
     top_result = distribution.result_at(position)
@@ -76,6 +90,7 @@ def make_verdict(claim: Claim, distribution: ClaimDistribution) -> ClaimVerdict:
             None,
             probability_correct,
             distribution,
+            degraded,
         )
     status = (
         VerdictStatus.VERIFIED
@@ -83,7 +98,19 @@ def make_verdict(claim: Claim, distribution: ClaimDistribution) -> ClaimVerdict:
         else VerdictStatus.ERRONEOUS
     )
     return ClaimVerdict(
-        claim, status, top_query, top_result, probability_correct, distribution
+        claim, status, top_query, top_result, probability_correct,
+        distribution, degraded,
+    )
+
+
+def unverifiable_verdict(claim: Claim) -> ClaimVerdict:
+    """The timed-out verdict: inference never ran, nothing is known.
+
+    UNVERIFIABLE is flagged (like UNRESOLVED): surfacing "we could not
+    check this" beats silently passing a claim through.
+    """
+    return ClaimVerdict(
+        claim, VerdictStatus.UNVERIFIABLE, None, None, 0.0, None, "timeout"
     )
 
 

@@ -21,8 +21,14 @@ module adds a filesystem tier:
   ``os.replace``, so concurrent workers sharing one warm cache directory
   never observe torn entries (last writer wins; both payloads are valid).
 
-Corrupt or unreadable entries are treated as misses and overwritten on the
-next store — a cache must never turn an IO hiccup into a pipeline failure.
+Corrupt or unreadable entries are treated as misses — a cache must never
+turn an IO hiccup into a pipeline failure. A corrupt *payload* (torn or
+scribbled pickle) is additionally quarantined on the spot: the file is
+renamed to ``<name>.cube.corrupt`` (unlinked if even the rename fails),
+so one bad file costs exactly one recompute-and-rewrite instead of a
+silent perpetual miss. Quarantines are counted in
+:class:`DiskCacheStats.corrupt` and mirrored into
+``EngineStats.disk_corrupt`` by every engine sharing the cache.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import weakref
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import faults
 from repro.db.cube import CellKey
 from repro.db.query import AggregateSpec, ColumnRef
 from repro.db.schema import Database
@@ -113,6 +120,8 @@ class DiskCacheStats:
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    #: Corrupt payloads quarantined (a subset of ``errors``).
+    corrupt: int = 0
 
 
 class DiskCubeCache:
@@ -227,20 +236,38 @@ class DiskCubeCache:
             self.stats.errors += 1  # full/read-only disk: degrade silently
 
     def _read(self, path: Path, entry_key: str) -> dict | None:
+        faults.fire("diskcache.read", key=path.name, payload=path)
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+        except OSError:
+            self.stats.errors += 1  # transient IO: miss, keep the file
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
+            # The payload itself is bad: quarantine so the next store
+            # rewrites a fresh entry instead of missing on it forever.
             self.stats.errors += 1
+            self.stats.corrupt += 1
+            self._quarantine(path)
             return None
         # SHA-256 collisions are fantasy, but the stored key also guards
         # against format drift and hand-copied cache directories.
         if not isinstance(payload, dict) or payload.get("key") != entry_key:
             return None
         return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the ``*.cube`` namespace."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.errors += 1  # truly stuck: next read retries
 
     def clear(self) -> None:
         """Remove every entry (leaves the directory in place)."""

@@ -41,6 +41,7 @@ from repro.db.values import Value
 
 if TYPE_CHECKING:  # runtime import would be circular via repro.db.cache users
     from repro.db.diskcache import DiskCubeCache
+    from repro.deadline import Deadline
 
 
 class ExecutionMode(enum.Enum):
@@ -95,6 +96,17 @@ class EngineStats:
     #: Candidates answered by the factorized cell-gather path (no
     #: per-candidate query objects were materialized for these).
     gathered_candidates: int = 0
+    #: Corrupt disk-cache entries quarantined (recomputed on the spot).
+    disk_corrupt: int = 0
+    #: Documents whose inference fell back to a shrunken evaluation scope
+    #: after the claim deadline expired (degradation-ladder rung 2).
+    deadline_degraded: int = 0
+    #: Documents whose inference skipped query execution entirely after
+    #: even the shrunken scope missed its deadline (rung 3).
+    deadline_exec_skipped: int = 0
+    #: Claims reported as unverifiable because the deadline expired
+    #: before inference could run at all (rung 4).
+    deadline_unverifiable: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -171,6 +183,17 @@ class QueryEngine:
         self.disk_cache = disk_cache
         self._db_fingerprint: str | None = None
         self.stats = EngineStats()
+        #: Cooperative execution budget (see :mod:`repro.deadline`): when
+        #: set, checked immediately before every physical cube or query
+        #: execution — the expensive, unbounded work. The checker installs
+        #: it around inference and clears it in a ``finally``.
+        self.deadline: "Deadline | None" = None
+        # Disk-cache corrupt counter seen at construction: the cache
+        # object may be shared, so this engine mirrors only *new*
+        # corruption into its own EngineStats.
+        self._disk_corrupt_seen = (
+            disk_cache.stats.corrupt if disk_cache is not None else 0
+        )
 
     @property
     def database_fingerprint(self) -> str:
@@ -357,6 +380,8 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def _execute_naive(self, query: SimpleAggregateQuery) -> Value:
+        if self.deadline is not None:
+            self.deadline.check("query-exec")
         start = time.perf_counter()
         result = execute_query(self.database, query, self.join_graph)
         self.stats.query_seconds += time.perf_counter() - start
@@ -516,6 +541,8 @@ class QueryEngine:
         self.stats.cache_hits += cache.stats.hits - hits_before
         self.stats.cache_misses += cache.stats.misses - misses_before
         if missing:
+            if self.deadline is not None:
+                self.deadline.check("cube-exec")
             cube = CubeQuery(
                 tables=tables,
                 dimensions=dims,
@@ -542,7 +569,17 @@ class QueryEngine:
                         entry.literals,
                         entry.cells,
                     )
+            self._sync_disk_corrupt()
         return entries
+
+    def _sync_disk_corrupt(self) -> None:
+        """Mirror newly-quarantined disk-cache entries into EngineStats."""
+        if self.disk_cache is None:
+            return
+        seen = self.disk_cache.stats.corrupt
+        if seen > self._disk_corrupt_seen:
+            self.stats.disk_corrupt += seen - self._disk_corrupt_seen
+            self._disk_corrupt_seen = seen
 
     def _load_from_disk(
         self,
@@ -561,6 +598,7 @@ class QueryEngine:
             dims,
             literal_map,
         )
+        self._sync_disk_corrupt()
         if loaded is None:
             self.stats.disk_misses += 1
             return None

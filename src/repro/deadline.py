@@ -1,0 +1,52 @@
+"""Cooperative wall-clock deadlines for claim verification.
+
+The pipeline has no preemption: a deadline is a budget object checked at
+stage boundaries (matching, candidate construction, each EM iteration,
+and — the expensive part — immediately before every physical cube or
+query execution in the engine). Exceeding the budget raises
+:class:`~repro.errors.DeadlineExceeded`, which the checker converts into
+a degraded verdict instead of an error (see ``AggChecker._check`` and
+ARCHITECTURE.md, "Failure domains & degradation ladder").
+
+A ``Deadline`` is cheap to check (one ``perf_counter`` read) and carries
+its own start time, so nested consumers (engine inside EM inside the
+checker) all count against one shared budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget that starts ticking at construction."""
+
+    __slots__ = ("budget_seconds", "_expires_at")
+
+    def __init__(self, budget_seconds: float) -> None:
+        if budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be > 0, got {budget_seconds}"
+            )
+        self.budget_seconds = budget_seconds
+        self._expires_at = time.perf_counter() + budget_seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - time.perf_counter()
+
+    def expired(self) -> bool:
+        return time.perf_counter() >= self._expires_at
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` tagged with ``stage`` if spent."""
+        if self.expired():
+            raise DeadlineExceeded(stage, self.budget_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Deadline(budget={self.budget_seconds}, "
+            f"remaining={self.remaining():.3f})"
+        )

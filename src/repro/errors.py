@@ -71,3 +71,31 @@ class CheckerError(ReproError):
 
 class MissingDependencyError(ReproError):
     """An optional third-party dependency is required for this feature."""
+
+
+class DeadlineExceeded(ReproError):
+    """A claim-execution deadline expired at a pipeline stage boundary.
+
+    Carries the stage where the budget ran out; the checker catches this
+    to walk its degradation ladder instead of failing the document.
+    """
+
+    def __init__(self, stage: str, budget_seconds: float) -> None:
+        super().__init__(
+            f"deadline of {budget_seconds:.3f}s exceeded at stage {stage!r}"
+        )
+        self.stage = stage
+        self.budget_seconds = budget_seconds
+
+
+class InjectedFault(ReproError):
+    """Raised by an armed fault-injection point (testing only)."""
+
+    def __init__(self, point: str, key: str) -> None:
+        super().__init__(f"injected fault at {point!r} (key {key!r})")
+        self.point = point
+        self.key = key
+
+
+class CheckpointError(ReproError):
+    """A corpus-run checkpoint could not be loaded or does not match."""

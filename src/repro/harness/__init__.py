@@ -12,7 +12,12 @@ from repro.harness.metrics import (
     aggregate_metrics,
     evaluate_case,
 )
-from repro.harness.parallel import run_corpus_parallel, shard_cases
+from repro.harness.checkpoint import CorpusCheckpoint, corpus_signature
+from repro.harness.parallel import (
+    RetryPolicy,
+    run_corpus_parallel,
+    shard_cases,
+)
 from repro.harness.runner import (
     CheckerPool,
     CorpusRun,
@@ -32,7 +37,10 @@ __all__ = [
     "CaseResult",
     "CheckerPool",
     "ClaimEvaluation",
+    "CorpusCheckpoint",
     "CorpusRun",
+    "RetryPolicy",
+    "corpus_signature",
     "RunMetrics",
     "StudyOutcome",
     "UserProfile",

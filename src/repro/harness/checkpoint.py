@@ -1,0 +1,191 @@
+"""Corpus-run checkpointing: resumable partial results on disk.
+
+A long corpus run killed halfway (machine reboot, OOM, Ctrl-C) should not
+repeat the cases it already finished. The runner writes one checkpoint
+file after every completed shard (parallel) or case (sequential):
+an atomically-replaced pickle of the per-case results and the quarantine
+list, stamped with the work's identity — a configuration digest plus one
+digest per case (document identity, claim count, database content
+fingerprint). ``--resume`` refuses a checkpoint whose digests disagree
+with the current run (resuming someone else's run, or the same corpus
+under different knobs, would silently mix results). The comparison is
+*prefix-based*: a run checkpointed under ``--limit 20`` resumes cleanly
+into the full corpus, and a resumed run under a smaller limit simply
+ignores results beyond it.
+
+Checkpointed results are the pickled :class:`~repro.harness.metrics.CaseResult`
+objects themselves — exactly what worker processes already ship back —
+so a resumed run's merged metrics and verdicts are bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import CheckpointError
+
+if TYPE_CHECKING:
+    from repro.core.config import AggCheckerConfig
+    from repro.corpus.spec import TestCase
+    from repro.harness.metrics import CaseResult
+
+#: Bump when the checkpoint payload layout changes.
+CHECKPOINT_VERSION = 2
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", "surrogatepass")).hexdigest()
+
+
+def config_digest(config: "AggCheckerConfig | None") -> str:
+    """Identity of the configuration a run executes under.
+
+    AggCheckerConfig is a frozen dataclass tree: its repr enumerates every
+    knob deterministically (the same property the incremental tier's
+    config fingerprint relies on).
+    """
+    return _digest(f"v{CHECKPOINT_VERSION}\x1e{config!r}")
+
+
+def case_digests(cases: "list[TestCase]") -> list[str]:
+    """One identity digest per case, in corpus order."""
+    from repro.db.diskcache import fingerprint_of
+
+    return [
+        _digest(
+            f"{case.document.title}\x1f{len(case.claims)}\x1f"
+            f"{fingerprint_of(case.database)}"
+        )
+        for case in cases
+    ]
+
+
+def corpus_signature(
+    cases: "list[TestCase]", config: "AggCheckerConfig | None"
+) -> str:
+    """Single collapsed identity of one (case list, config) unit of work."""
+    return _digest(
+        "\x1e".join([config_digest(config), *case_digests(cases)])
+    )
+
+
+class CorpusCheckpoint:
+    """One checkpoint file bound to one run's work identity."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        config_sig: str,
+        case_sigs: list[str],
+    ) -> None:
+        self.path = Path(path)
+        self.config_sig = config_sig
+        self.case_sigs = case_sigs
+
+    def load(self) -> "tuple[dict[int, CaseResult], dict[int, str]]":
+        """Saved ``(results, quarantined)``; empty when no file exists.
+
+        Raises :class:`CheckpointError` for an unreadable file or an
+        identity mismatch — resuming must never silently merge results
+        from different work. Case identity is compared over the common
+        prefix, so the checkpoint and the current run may use different
+        ``--limit`` values; results beyond the current case list are
+        dropped.
+        """
+        try:
+            with self.path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return {}, {}
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError) as error:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path}: {error}"
+            ) from error
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CHECKPOINT_VERSION
+        ):
+            raise CheckpointError(
+                f"checkpoint {self.path} has an unknown format"
+            )
+        if payload.get("config") != self.config_sig:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written under a different "
+                "configuration; delete it (or drop --resume) to start over"
+            )
+        recorded = list(payload.get("cases", []))
+        common = min(len(recorded), len(self.case_sigs))
+        if recorded[:common] != self.case_sigs[:common]:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written for a different "
+                "corpus; delete it (or drop --resume) to start over"
+            )
+        n_cases = len(self.case_sigs)
+        results = {
+            index: result
+            for index, result in payload["results"].items()
+            if index < n_cases
+        }
+        quarantined = {
+            index: error
+            for index, error in payload["quarantined"].items()
+            if index < n_cases
+        }
+        return results, quarantined
+
+    def save(
+        self,
+        results: "dict[int, CaseResult]",
+        quarantined: dict[int, str],
+    ) -> None:
+        """Atomically replace the checkpoint with the current state."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "config": self.config_sig,
+            "cases": self.case_sigs,
+            "results": results,
+            "quarantined": quarantined,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def open_checkpoint(
+    cases: "list[TestCase]",
+    config: "AggCheckerConfig | None",
+    checkpoint: str | Path | None,
+    resume: bool,
+) -> "tuple[dict[int, CaseResult], dict[int, str], CorpusCheckpoint | None]":
+    """Shared runner entry: ``(prior results, quarantined, store)``.
+
+    Without ``resume`` an existing checkpoint is ignored (and overwritten
+    by the first save); without ``checkpoint`` this is all empty/None.
+    """
+    if checkpoint is None:
+        return {}, {}, None
+    store = CorpusCheckpoint(
+        checkpoint, config_digest(config), case_digests(cases)
+    )
+    if not resume:
+        return {}, {}, store
+    results, quarantined = store.load()
+    return results, quarantined, store

@@ -105,7 +105,13 @@ def evaluate_case(case: TestCase, report: CheckReport) -> CaseResult:
     evaluations = []
     for claim, truth in zip(report.claims, case.ground_truth):
         verdict = report.verdict_for(claim)
-        rank = verdict.distribution.rank_of(truth.query)
+        # Unverifiable (timed-out) verdicts carry no distribution: the
+        # ground-truth query has no rank and counts as uncovered.
+        rank = (
+            verdict.distribution.rank_of(truth.query)
+            if verdict.distribution is not None
+            else None
+        )
         evaluations.append(ClaimEvaluation(claim, truth, verdict, rank))
     return CaseResult(case, report, evaluations)
 

@@ -1,4 +1,4 @@
-"""Sharded, process-parallel corpus verification.
+"""Sharded, process-parallel corpus verification with crash recovery.
 
 Cases are grouped by database (the unit of checker reuse) and whole groups
 are dealt to worker shards with a deterministic greedy balancer, so:
@@ -18,22 +18,71 @@ pickled and are merged in corpus order, so a parallel
 :class:`~repro.harness.runner.CorpusRun` is indistinguishable from a
 sequential one. Combine with ``AggCheckerConfig.cache_dir`` to let
 concurrent workers share one warm disk cube cache.
+
+**Failure model.** A worker that dies (SIGKILL, OOM, segfault) breaks the
+whole process pool: every unfinished shard fails at once. The run
+survives: failed cases are retried one at a time in *isolated*
+single-worker pools (a poison case can only kill its own sandbox, never a
+neighbor's results) with bounded exponential backoff between attempts;
+cases that keep failing are quarantined into ``CorpusRun.quarantined``
+with their last error, and the run completes with verdicts bit-identical
+to a sequential run for every surviving case. Engine-stat *counters* for
+retried cases may differ from an uninterrupted run (a fresh sandbox
+checker starts with cold caches); verdicts and quality metrics cannot.
+Pass ``checkpoint=`` to persist partial results after every shard, and
+``resume=True`` to continue a killed run (see
+:mod:`repro.harness.checkpoint`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.config import AggCheckerConfig
 from repro.corpus.generator import Corpus
 from repro.corpus.spec import TestCase
+from repro.faults import fire
+from repro.harness.checkpoint import CorpusCheckpoint, open_checkpoint
 from repro.harness.metrics import CaseResult, aggregate_metrics
 from repro.harness.runner import CheckerPool, CorpusRun, merge_stats
 
 #: Worker-process state installed by the pool initializer.
 _WORKER_STATE: tuple[list[TestCase], AggCheckerConfig | None] | None = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for failed cases.
+
+    ``max_attempts`` counts the original shard run plus isolated retries:
+    the default of 3 gives a case that was innocent collateral of a
+    neighboring crash two clean chances before quarantine. Backoff is
+    deterministic (no jitter): retries run one at a time, so the thundering
+    herd that jitter prevents cannot occur, and tests stay reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def backoff_seconds(self, retry_ordinal: int) -> float:
+        """Sleep before the ``retry_ordinal``-th retry (1-based)."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** (retry_ordinal - 1)),
+        )
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -76,11 +125,53 @@ def _init_worker(
     _WORKER_STATE = (cases, config)
 
 
-def _run_shard(indices: list[int]) -> list[tuple[int, CaseResult]]:
+def _run_shard(
+    indices: list[int], shard_key: str = ""
+) -> list[tuple[int, CaseResult]]:
     assert _WORKER_STATE is not None, "worker initializer did not run"
+    fire("parallel.shard", shard_key)
     cases, config = _WORKER_STATE
     pool = CheckerPool(config)
-    return [(index, pool.run(cases[index])) for index in indices]
+    results: list[tuple[int, CaseResult]] = []
+    for index in indices:
+        fire("harness.case", str(index))
+        results.append((index, pool.run(cases[index])))
+    return results
+
+
+def _run_isolated(
+    cases: list[TestCase],
+    config: AggCheckerConfig | None,
+    index: int,
+    context,
+) -> CaseResult:
+    """One case in a fresh single-worker sandbox pool.
+
+    A poison case (one that kills every worker that touches it) can only
+    take down its own pool here; previously-recovered results and the
+    other retries are untouched, and the crash surfaces as an ordinary
+    exception for the retry loop to count.
+    """
+    with ProcessPoolExecutor(
+        max_workers=1,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(cases, config),
+    ) as executor:
+        pairs = executor.submit(_run_shard, [index], "retry").result()
+    return pairs[0][1]
+
+
+def _assemble(
+    done: dict[int, CaseResult], quarantined: dict[int, str]
+) -> CorpusRun:
+    results = [done[index] for index in sorted(done)]
+    return CorpusRun(
+        results,
+        aggregate_metrics(results),
+        merge_stats(results),
+        dict(sorted(quarantined.items())),
+    )
 
 
 def run_corpus_parallel(
@@ -88,37 +179,109 @@ def run_corpus_parallel(
     config: AggCheckerConfig | None = None,
     limit: int | None = None,
     workers: int = 0,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> CorpusRun:
     """Verify a corpus across ``workers`` processes (0 = one per CPU).
 
     Falls back to the in-process sequential runner when one worker (or one
     shard) would do — the results are identical either way, so callers can
-    pass ``workers`` straight from a CLI flag.
+    pass ``workers`` straight from a CLI flag. Worker crashes are
+    recovered per ``retry`` (see :class:`RetryPolicy` and the module
+    docstring); ``checkpoint``/``resume`` persist and reload partial
+    results.
     """
     from repro.harness.runner import run_corpus  # lazy: runner delegates here
 
+    retry = retry or RetryPolicy()
     cases = corpus.cases if limit is None else corpus.cases[:limit]
+    done, quarantined, store = open_checkpoint(
+        cases, config, checkpoint, resume
+    )
+    pending = [
+        index
+        for index in range(len(cases))
+        if index not in done and index not in quarantined
+    ]
     n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(cases) <= 1:
-        return run_corpus(corpus, config, limit=limit, workers=1)
-    shards = shard_cases(cases, n_workers)
-    if len(shards) <= 1:
-        return run_corpus(corpus, config, limit=limit, workers=1)
+    if n_workers <= 1 or len(pending) <= 1:
+        return run_corpus(
+            corpus, config, limit=limit, workers=1,
+            checkpoint=checkpoint, resume=resume,
+        )
+    local_shards = shard_cases([cases[index] for index in pending], n_workers)
+    if len(local_shards) <= 1:
+        return run_corpus(
+            corpus, config, limit=limit, workers=1,
+            checkpoint=checkpoint, resume=resume,
+        )
+    # shard_cases dealt positions within `pending`; lift to corpus indices.
+    shards = [[pending[local] for local in shard] for shard in local_shards]
 
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
-    indexed: list[tuple[int, CaseResult]] = []
+    failed: list[int] = []
     with ProcessPoolExecutor(
         max_workers=len(shards),
         mp_context=context,
         initializer=_init_worker,
         initargs=(cases, config),
     ) as executor:
-        for future in [executor.submit(_run_shard, shard) for shard in shards]:
-            indexed.extend(future.result())
+        futures = {
+            executor.submit(_run_shard, shard, str(ordinal)): shard
+            for ordinal, shard in enumerate(shards)
+        }
+        for future in as_completed(futures):
+            shard = futures[future]
+            try:
+                pairs = future.result()
+            except (BrokenProcessPool, Exception):
+                # A dead worker breaks the whole pool: every unfinished
+                # shard lands here at once. Collect and recover below.
+                failed.extend(shard)
+                continue
+            done.update(pairs)
+            if store is not None:
+                store.save(done, quarantined)
 
-    indexed.sort(key=lambda pair: pair[0])
-    results = [result for _, result in indexed]
-    return CorpusRun(results, aggregate_metrics(results), merge_stats(results))
+    _recover(
+        cases, config, context, retry, sorted(set(failed) - set(done)),
+        done, quarantined, store,
+    )
+    return _assemble(done, quarantined)
+
+
+def _recover(
+    cases: list[TestCase],
+    config: AggCheckerConfig | None,
+    context,
+    retry: RetryPolicy,
+    failed: list[int],
+    done: dict[int, CaseResult],
+    quarantined: dict[int, str],
+    store: CorpusCheckpoint | None,
+) -> None:
+    """Retry failed cases in isolation; quarantine repeat offenders.
+
+    The shard run was attempt 1 for every failed case; each gets up to
+    ``max_attempts - 1`` isolated retries with exponential backoff.
+    Correctness over throughput on this path: one sandbox pool per
+    attempt is slow, but a poison document can never corrupt or abort a
+    neighbor, and attempt accounting stays exact.
+    """
+    for index in failed:
+        last_error = "failed in worker shard (no retry budget)"
+        for retry_ordinal in range(1, retry.max_attempts):
+            time.sleep(retry.backoff_seconds(retry_ordinal))
+            try:
+                done[index] = _run_isolated(cases, config, index, context)
+                break
+            except (BrokenProcessPool, Exception) as error:
+                last_error = f"{type(error).__name__}: {error}"
+        if index not in done:
+            quarantined[index] = last_error
+        if store is not None:
+            store.save(done, quarantined)

@@ -17,19 +17,25 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.checker import AggChecker
 from repro.core.config import AggCheckerConfig
 from repro.corpus.generator import Corpus
 from repro.corpus.spec import TestCase
 from repro.db.engine import EngineStats
+from repro.faults import fire
+from repro.harness.checkpoint import open_checkpoint
 from repro.harness.metrics import (
     CaseResult,
     RunMetrics,
     aggregate_metrics,
     evaluate_case,
 )
+
+if TYPE_CHECKING:
+    from repro.harness.parallel import RetryPolicy
 
 
 @dataclass
@@ -39,6 +45,11 @@ class CorpusRun:
     results: list[CaseResult]
     metrics: RunMetrics
     engine_stats: EngineStats = field(default_factory=EngineStats)
+    #: Corpus index -> last error, for cases that exhausted their retry
+    #: budget in the parallel runner (always empty for sequential runs,
+    #: which let exceptions propagate). Quarantined cases contribute
+    #: nothing to ``results`` or ``metrics``.
+    quarantined: dict[int, str] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -168,23 +179,46 @@ def run_corpus(
     config: AggCheckerConfig | None = None,
     limit: int | None = None,
     workers: int = 1,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    retry: "RetryPolicy | None" = None,
 ) -> CorpusRun:
     """Verify every case of the corpus (or the first ``limit`` cases).
 
     ``workers=1`` runs in-process; any other value delegates to the
     sharded process-pool runner (``0`` = one worker per CPU). Both paths
-    produce identical results and metrics.
+    produce identical results and metrics. ``checkpoint`` persists partial
+    results after every case (shard, when parallel) and ``resume`` reloads
+    them (see :mod:`repro.harness.checkpoint`); ``retry`` tunes the
+    parallel runner's crash recovery and is ignored in-process, where a
+    case failure propagates to the caller instead of being sandboxed.
     """
     if workers != 1:
         from repro.harness.parallel import run_corpus_parallel
 
         return run_corpus_parallel(
-            corpus, config, limit=limit, workers=workers
+            corpus, config, limit=limit, workers=workers,
+            retry=retry, checkpoint=checkpoint, resume=resume,
         )
     cases = corpus.cases if limit is None else corpus.cases[:limit]
+    done, quarantined, store = open_checkpoint(
+        cases, config, checkpoint, resume
+    )
     pool = CheckerPool(config)
-    results = [pool.run(case) for case in cases]
-    return CorpusRun(results, aggregate_metrics(results), merge_stats(results))
+    for index, case in enumerate(cases):
+        if index in done or index in quarantined:
+            continue
+        fire("harness.case", str(index))
+        done[index] = pool.run(case)
+        if store is not None:
+            store.save(done, quarantined)
+    results = [done[index] for index in sorted(done)]
+    return CorpusRun(
+        results,
+        aggregate_metrics(results),
+        merge_stats(results),
+        dict(sorted(quarantined.items())),
+    )
 
 
 def merge_stats(results: list[CaseResult]) -> EngineStats:

@@ -80,6 +80,8 @@ class IncrementalStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Degraded (deadline-shaped) payloads refused by :meth:`put`.
+    skipped: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -113,6 +115,14 @@ class IncrementalCache:
             return payload
 
     def put(self, key: ResultKey, payload: dict) -> None:
+        # Never memoize a degraded verdict: it reflects that request's
+        # time budget, not the claim. Caching it would pin a low-quality
+        # answer until eviction; recomputing on resubmission gives the
+        # claim a fresh chance at the full-quality rung.
+        if payload.get("degraded"):
+            with self._lock:
+                self.stats.skipped += 1
+            return
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

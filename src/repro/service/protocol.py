@@ -12,8 +12,15 @@ complete JSON object per line, streamed as results become available:
   ``index`` is the claim's document-order ordinal — cached verdicts
   stream before fresh ones complete, so events may arrive out of
   document order;
-- ``{"event": "summary", ...}`` — totals, cache/engine counters, timing;
-- ``{"event": "error", "error": msg}`` — terminal mid-stream failure.
+- ``{"event": "summary", ...}`` — totals (including ``flagged`` and
+  ``errors`` counts), cache/engine counters, timing;
+- ``{"event": "error", "index": i, "error": msg}`` — *one claim* failed
+  verification (the stream continues: remaining claims still get their
+  events and the summary still arrives). A claim verified under a
+  deadline carries ``"degraded"`` in its payload (``"scope"``,
+  ``"no_exec"``, or ``"timeout"``) naming the degradation rung;
+- ``{"event": "error", "error": msg}`` — terminal mid-stream failure
+  (no ``index``): the whole stream is aborted after this event.
 
 Articles arrive inline (``article`` text) or by server-side path
 (``article_path``); content sniffing (HTML vs plain text) matches the
@@ -200,7 +207,7 @@ def verdict_payload(verdict: ClaimVerdict) -> dict:
     events: any divergence between one-shot and served verdicts is a
     payload diff, not a formatting artifact.
     """
-    return {
+    payload = {
         "text": verdict.claim.mention.text,
         "sentence": verdict.claim.sentence.text,
         "claimed_value": verdict.claim.claimed_value,
@@ -211,6 +218,11 @@ def verdict_payload(verdict: ClaimVerdict) -> dict:
         "top_result": verdict.top_result,
         "probability_correct": round(verdict.probability_correct, 4),
     }
+    # Only present when set: undegraded payloads stay byte-identical to
+    # every release before deadlines existed.
+    if verdict.degraded is not None:
+        payload["degraded"] = verdict.degraded
+    return payload
 
 
 def claim_event(index: int, payload: dict, cached: bool) -> dict:

@@ -24,6 +24,16 @@ different databases verify fully in parallel. Shutdown is graceful —
 :meth:`VerificationServer.shutdown_gracefully` stops accepting and then
 joins in-flight request threads, so accepted documents always get their
 complete result stream.
+
+Hardening: bodies are capped before buffering (``MAX_BODY_BYTES``),
+concurrent ``/check`` requests are capped at ``max_inflight`` (excess is
+shed with ``429`` + ``Retry-After`` and ``/health`` flips to
+``degraded``), an optional ``request_timeout`` routes each request
+through the checker's degradation ladder instead of holding a slot
+forever, a claim that fails verification becomes a per-claim ``error``
+event rather than aborting its document, and clients hanging up
+mid-stream are counted (``dropped_streams`` in ``GET /stats``), never
+raised.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from typing import Iterator
 from repro.core.checker import AggChecker, claim_fingerprint
 from repro.core.config import AggCheckerConfig
 from repro.db.diskcache import fingerprint_of
+from repro.deadline import Deadline
 from repro.db.engine import EngineStats
 from repro.errors import ReproError
 from repro.harness.runner import CheckerPool, PoolEntry
@@ -100,10 +111,25 @@ class VerificationService:
         incremental: bool = True,
         incremental_capacity: int = 16384,
         max_databases: int = 64,
+        max_inflight: int = 8,
+        request_timeout: float | None = None,
     ) -> None:
         if max_databases < 1:
             raise ValueError(f"max_databases must be >= 1, got {max_databases}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.config = config or AggCheckerConfig()
+        #: Admission cap on concurrent /check requests. Each in-flight
+        #: check pins a thread and (often) a checker lock; past the cap
+        #: the handler sheds load with 429 + Retry-After instead of
+        #: queueing unboundedly. GET endpoints are never slot-limited:
+        #: health checks must answer precisely when the service is busy.
+        self.max_inflight = max_inflight
+        #: Optional per-request wall-clock budget (seconds). Becomes a
+        #: :class:`~repro.deadline.Deadline` handed to the checker, which
+        #: degrades (scope cut -> no execution -> unverifiable) rather
+        #: than letting one pathological document hold a slot forever.
+        self.request_timeout = request_timeout
         self.pool = CheckerPool(self.config)
         self.incremental_enabled = incremental
         self.cache = IncrementalCache(incremental_capacity)
@@ -127,6 +153,10 @@ class VerificationService:
         self.claims_served = 0
         self.claims_from_cache = 0
         self.request_errors = 0
+        self.rejected_requests = 0
+        self.dropped_streams = 0
+        self.claim_errors = 0
+        self._inflight = 0
 
     def prepare(self, request: CheckRequest) -> _PreparedCheck:
         """Load data, warm (or reuse) the checker, detect claims.
@@ -247,31 +277,55 @@ class VerificationService:
             else:
                 fresh.append((index, claim, key))
 
+        deadline = (
+            Deadline(self.request_timeout)
+            if self.request_timeout is not None
+            else None
+        )
         stats_delta = EngineStats()
         if fresh:
             checker = prepared.entry.checker
             assert checker is not None
-            with prepared.entry.lock:
-                report = checker.check_claims(
-                    prepared.document, [claim for _, claim, _ in fresh]
-                )
-            stats_delta = report.engine_stats
-            for (index, _, key), verdict in zip(fresh, report.verdicts):
-                payload = verdict_payload(verdict)
-                statuses[index] = payload["status"]
-                if key is not None:
-                    self.cache.put(key, payload)
-                yield claim_event(index, payload, cached=False)
+            try:
+                with prepared.entry.lock:
+                    report = checker.check_claims(
+                        prepared.document,
+                        [claim for _, claim, _ in fresh],
+                        deadline=deadline,
+                    )
+            except Exception:
+                # The joint batch died (a poison claim, an injected
+                # fault). Fall back to one check per claim so every
+                # healthy claim still gets its verdict and only the bad
+                # one becomes an error event. Events are collected under
+                # the lock and yielded after release: a slow client must
+                # not extend the time this database is locked.
+                events = self._stream_per_claim(prepared, fresh, statuses,
+                                                deadline, stats_delta)
+            else:
+                events = []
+                for (index, _, key), verdict in zip(fresh, report.verdicts):
+                    payload = verdict_payload(verdict)
+                    statuses[index] = payload["status"]
+                    if key is not None:
+                        self.cache.put(key, payload)
+                    events.append(claim_event(index, payload, cached=False))
+                stats_delta += report.engine_stats
+            yield from events
 
         seconds = time.perf_counter() - started
         with self._counter_lock:
             self.claims_served += len(claims)
             self.claims_from_cache += cached_count
-        flagged = sum(1 for status in statuses if status != "verified")
+        errors = sum(1 for status in statuses if status == "error")
+        flagged = sum(
+            1 for status in statuses if status not in ("verified", "error")
+        )
         yield {
             "event": "summary",
             "claims": len(claims),
             "flagged": flagged,
+            "errors": errors,
             "cached_claims": cached_count,
             "evaluated_claims": len(fresh),
             "seconds": round(seconds, 4),
@@ -280,9 +334,63 @@ class VerificationService:
             "engine": asdict(stats_delta),
         }
 
+    def _stream_per_claim(
+        self,
+        prepared: _PreparedCheck,
+        fresh: "list[tuple[int, Claim, tuple[str, str] | None]]",
+        statuses: list,
+        deadline: "Deadline | None",
+        stats_delta: EngineStats,
+    ) -> list[dict]:
+        """Degraded path: verify each claim alone, isolating failures.
+
+        Returns the claim/error events in claim order; ``statuses`` and
+        ``stats_delta`` are updated in place. A claim that fails even
+        alone yields ``{"event": "error", "index": ..., "error": ...}``
+        instead of aborting the document.
+        """
+        checker = prepared.entry.checker
+        assert checker is not None
+        events: list[dict] = []
+        with prepared.entry.lock:
+            for index, claim, key in fresh:
+                try:
+                    report = checker.check_claims(
+                        prepared.document, [claim], deadline=deadline
+                    )
+                except Exception as error:  # a poison claim, kept in-band
+                    statuses[index] = "error"
+                    self.note_claim_error()
+                    events.append({
+                        "event": "error",
+                        "index": index,
+                        "error": str(error),
+                    })
+                    continue
+                payload = verdict_payload(report.verdicts[0])
+                statuses[index] = payload["status"]
+                if key is not None:
+                    self.cache.put(key, payload)
+                stats_delta += report.engine_stats
+                events.append(claim_event(index, payload, cached=False))
+        return events
+
     def check(self, request: CheckRequest) -> list[dict]:
         """Convenience: the full event list of one request (no HTTP)."""
         return list(self.stream(self.prepare(request)))
+
+    def try_acquire(self) -> bool:
+        """Claim an in-flight slot; False means shed this request (429)."""
+        with self._counter_lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected_requests += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._counter_lock:
+            self._inflight -= 1
 
     def health(self) -> dict:
         with self._counter_lock:
@@ -290,14 +398,26 @@ class VerificationService:
             claims_served = self.claims_served
             claims_from_cache = self.claims_from_cache
             request_errors = self.request_errors
+            rejected_requests = self.rejected_requests
+            dropped_streams = self.dropped_streams
+            claim_errors = self.claim_errors
+            inflight = self._inflight
         return {
-            "status": "ok",
+            # "degraded" = alive but saturated: new /check requests are
+            # being shed with 429 right now. Load balancers should route
+            # away; the process itself is healthy and will recover.
+            "status": "degraded" if inflight >= self.max_inflight else "ok",
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "databases": len(self.pool),
             "requests": requests,
+            "inflight": inflight,
+            "max_inflight": self.max_inflight,
             "claims_served": claims_served,
             "claims_from_cache": claims_from_cache,
             "request_errors": request_errors,
+            "rejected_requests": rejected_requests,
+            "dropped_streams": dropped_streams,
+            "claim_errors": claim_errors,
             "incremental": {
                 "enabled": self.incremental_enabled,
                 "entries": len(self.cache),
@@ -322,12 +442,22 @@ class VerificationService:
             misses=cache_stats.misses,
             stores=cache_stats.stores,
             evictions=cache_stats.evictions,
+            skipped=cache_stats.skipped,
         )
         return payload
 
     def note_error(self) -> None:
         with self._counter_lock:
             self.request_errors += 1
+
+    def note_dropped_stream(self) -> None:
+        """A client hung up mid-stream (visible via GET /stats)."""
+        with self._counter_lock:
+            self.dropped_streams += 1
+
+    def note_claim_error(self) -> None:
+        with self._counter_lock:
+            self.claim_errors += 1
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -354,6 +484,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if self.path != "/check":
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        if not service.try_acquire():
+            # Shed load before buffering the body: a saturated server
+            # must stay cheap to say no to.
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", "1")
+            body = json.dumps(
+                {"error": "too many in-flight requests; retry shortly"}
+            ).encode("utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        try:
+            self._handle_check(service)
+        finally:
+            service.release()
+
+    def _handle_check(self, service: VerificationService) -> None:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -399,14 +548,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
             for event in service.stream(prepared):
                 self.wfile.write(encode_event(event))
                 self.wfile.flush()
-        except (ReproError, OSError, ValueError) as error:
+        except OSError:
+            # Client hung up mid-stream; counted, not fatal.
+            service.note_dropped_stream()
+        except Exception as error:
             # The status line is committed; report in-band and close.
+            # Broad on purpose: the stream thread must never die silently,
+            # whatever the checker throws.
             service.note_error()
             try:
                 self.wfile.write(encode_event(error_event(str(error))))
                 self.wfile.flush()
             except OSError:
-                pass  # client hung up mid-stream
+                service.note_dropped_stream()
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
@@ -460,6 +614,19 @@ class VerificationServer(ThreadingHTTPServer):
         self.shutdown()
         self.server_close()
 
+    def handle_error(self, request, client_address) -> None:
+        # A client that resets its connection can fail the handler
+        # *outside* the streaming try/except — e.g. when socketserver
+        # flushes the response during connection teardown. The stream
+        # loop already counted that hangup (``dropped_streams``), so
+        # counting here would double-book the same event; just keep the
+        # stock implementation from dumping a traceback to stderr.
+        # Anything that is not a connection-level failure still gets the
+        # default report.
+        if isinstance(sys.exception(), OSError):
+            return
+        super().handle_error(request, client_address)
+
 
 def create_server(
     host: str = "127.0.0.1",
@@ -468,6 +635,8 @@ def create_server(
     incremental: bool = True,
     incremental_capacity: int = 16384,
     max_databases: int = 64,
+    max_inflight: int = 8,
+    request_timeout: float | None = None,
     verbose: bool = False,
 ) -> VerificationServer:
     """Bind a :class:`VerificationServer` (port 0 picks a free port)."""
@@ -475,5 +644,7 @@ def create_server(
         config, incremental=incremental,
         incremental_capacity=incremental_capacity,
         max_databases=max_databases,
+        max_inflight=max_inflight,
+        request_timeout=request_timeout,
     )
     return VerificationServer((host, port), service, verbose=verbose)

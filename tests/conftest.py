@@ -29,6 +29,7 @@ _NEEDS_MODEL = (
     "tests/core/test_checker.py",
     "tests/core/test_interactive.py",
     "tests/harness/",
+    "tests/service/test_resilience.py",
     "tests/service/test_server.py",
     "tests/test_cli.py",
     "tests/test_integration.py",
@@ -40,6 +41,11 @@ def pytest_configure(config):
         "markers",
         "needs_numpy: test drives the NumPy-only model layer "
         "(skipped on the no-NumPy CI leg)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection / resilience test (CI runs this subset "
+        "as its own job via -m faults)",
     )
 
 

@@ -1,0 +1,259 @@
+"""Fault-injection suite: crash recovery, quarantine, resume, deadlines.
+
+Every scenario here drives *unmodified* production code paths with faults
+armed through :mod:`repro.faults` (environment-inherited, so forked
+worker processes fire them too). The contracts under test come straight
+from the failure model the harness documents:
+
+- a worker killed mid-corpus is transparent — the run completes with
+  verdicts and metrics bit-identical to sequential;
+- a poison case (kills every worker that touches it) is quarantined with
+  its error after a bounded number of isolated retries, and every other
+  case still matches sequential;
+- a checkpointed run resumes without re-running finished cases;
+- a claim deadline degrades verdicts through the documented ladder
+  (reduced scope -> no execution -> unverifiable) instead of hanging.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.checker import DEGRADED_SCOPE_BUDGET, AggChecker
+from repro.core.config import AggCheckerConfig
+from repro.core.verdict import VerdictStatus
+from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
+from repro.errors import CheckpointError, InjectedFault
+from repro.faults import FaultSpec, active, decode_specs, encode_specs
+from repro.harness import RetryPolicy, run_corpus, run_corpus_parallel
+from repro.harness.checkpoint import CorpusCheckpoint, open_checkpoint
+
+from tests.harness.test_parallel import (
+    METRIC_FIELDS,
+    assert_identical_runs,
+    verdict_signature,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(n_articles=4, seed=77))
+
+
+@pytest.fixture(scope="module")
+def sequential(corpus):
+    return run_corpus(corpus)
+
+
+def assert_metrics_match(left, right):
+    for name in METRIC_FIELDS:
+        assert getattr(left.metrics, name) == getattr(right.metrics, name), name
+
+
+class TestFaultSpecWire:
+    def test_round_trip(self):
+        specs = (
+            FaultSpec("harness.case", "kill", match="2", times=1),
+            FaultSpec("checker.stage", "sleep", match="inference",
+                      seconds=0.25, times=0),
+            FaultSpec("diskcache.read", "corrupt", match="*.cube"),
+        )
+        assert decode_specs(encode_specs(specs)) == specs
+
+    def test_unarmed_fire_is_noop(self):
+        from repro.faults import fire
+
+        fire("harness.case", "0")  # nothing armed: must not raise
+
+    def test_raise_action(self):
+        with active(FaultSpec("demo.point", "raise", match="boom")):
+            from repro.faults import fire
+
+            fire("demo.point", "other")  # no match
+            with pytest.raises(InjectedFault):
+                fire("demo.point", "boom")
+            fire("demo.point", "boom")  # times=1 budget spent
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_recovers_bit_identical(self, corpus, sequential):
+        # Kill the first worker that reaches case 2; the pool breaks, the
+        # retry layer re-runs the lost cases in sandboxes, and the final
+        # run is indistinguishable in verdicts and metrics. Engine stats
+        # are NOT compared: the sandbox checker starts cold, so cache
+        # counters legitimately differ (the docstring caveat).
+        with active(FaultSpec("harness.case", "kill", match="2", times=1)):
+            run = run_corpus_parallel(
+                corpus, workers=2,
+                retry=RetryPolicy(backoff_base=0.01),
+            )
+        assert run.quarantined == {}
+        assert verdict_signature(run) == verdict_signature(sequential)
+        assert_metrics_match(run, sequential)
+
+    def test_poison_case_is_quarantined(self, corpus, sequential):
+        # times=0 = unlimited: case 1 kills every process that touches
+        # it, including each isolated retry sandbox.
+        with active(FaultSpec("harness.case", "kill", match="1", times=0)):
+            run = run_corpus_parallel(
+                corpus, workers=2,
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+            )
+        assert set(run.quarantined) == {1}
+        assert "BrokenProcessPool" in run.quarantined[1]
+        # Survivors: everything but case 1, bit-identical to sequential.
+        survivor_sig = [
+            sig for index, sig in enumerate(verdict_signature(sequential))
+            if index != 1
+        ]
+        assert verdict_signature(run) == survivor_sig
+        assert run.metrics.n_claims == sequential.metrics.n_claims - len(
+            sequential.results[1].evaluations
+        )
+
+    def test_retry_policy_backoff_is_bounded(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_cap=0.2)
+        assert policy.backoff_seconds(1) == 0.05
+        assert policy.backoff_seconds(2) == 0.1
+        assert policy.backoff_seconds(3) == 0.2
+        assert policy.backoff_seconds(10) == 0.2
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_finished_cases(self, corpus, sequential, tmp_path):
+        path = tmp_path / "run.ckpt"
+        partial = run_corpus(corpus, limit=2, checkpoint=path)
+        assert len(partial.results) == 2
+        # Arm always-raise faults on the finished cases: if resume
+        # re-ran either of them the fault would fire and abort — a clean
+        # completion proves they were skipped.
+        with active(FaultSpec("harness.case", "raise", match="[01]", times=0)):
+            full = run_corpus(corpus, checkpoint=path, resume=True)
+        assert full.quarantined == {}
+        assert_identical_runs(full, sequential)
+
+    def test_parallel_resume_matches_sequential(
+        self, corpus, sequential, tmp_path
+    ):
+        path = tmp_path / "run.ckpt"
+        run_corpus(corpus, limit=2, checkpoint=path)
+        with active(FaultSpec("harness.case", "raise", match="[01]", times=0)):
+            full = run_corpus_parallel(
+                corpus, workers=2, checkpoint=path, resume=True
+            )
+        assert verdict_signature(full) == verdict_signature(sequential)
+        assert_metrics_match(full, sequential)
+
+    def test_mismatched_config_is_refused(self, corpus, tmp_path):
+        path = tmp_path / "run.ckpt"
+        run_corpus(corpus, limit=1, checkpoint=path)
+        other = AggCheckerConfig(predicate_hits=7)
+        with pytest.raises(CheckpointError, match="different"):
+            run_corpus(corpus, other, limit=1, checkpoint=path, resume=True)
+
+    def test_corrupt_checkpoint_is_refused(self, corpus, tmp_path):
+        path = tmp_path / "run.ckpt"
+        run_corpus(corpus, limit=1, checkpoint=path)
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            run_corpus(corpus, limit=1, checkpoint=path, resume=True)
+
+    def test_version_gate(self, corpus, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(pickle.dumps({"version": -1}))
+        with pytest.raises(CheckpointError, match="unknown format"):
+            run_corpus(corpus, limit=1, checkpoint=path, resume=True)
+
+    def test_without_resume_checkpoint_is_overwritten(self, corpus, tmp_path):
+        path = tmp_path / "run.ckpt"
+        run_corpus(corpus, limit=1, checkpoint=path)
+        done, quarantined, store = open_checkpoint(
+            corpus.cases[:1], None, path, resume=False
+        )
+        assert (done, quarantined) == ({}, {})
+        assert isinstance(store, CorpusCheckpoint)
+
+
+class TestDeadlineLadder:
+    def test_no_deadline_is_the_default(self):
+        case = nfl_suspensions_case()
+        checker = AggChecker(case.database, AggCheckerConfig(),
+                             case.data_dictionary)
+        report = checker.check_claims(case.document, case.claims)
+        assert all(v.degraded is None for v in report.verdicts)
+
+    def test_impossible_deadline_yields_unverifiable(self):
+        # A nanosecond budget expires before matching: every claim gets
+        # the terminal rung, and the report still arrives (no hang, no
+        # exception).
+        case = nfl_suspensions_case()
+        config = AggCheckerConfig(claim_deadline=1e-9)
+        checker = AggChecker(case.database, config, case.data_dictionary)
+        report = checker.check_claims(case.document, case.claims)
+        assert len(report.verdicts) == len(case.claims)
+        for verdict in report.verdicts:
+            assert verdict.status is VerdictStatus.UNVERIFIABLE
+            assert verdict.degraded == "timeout"
+            assert verdict.distribution is None
+            assert verdict.status.flagged
+        assert report.engine_stats.deadline_unverifiable == len(case.claims)
+
+    def test_slow_inference_degrades_to_scope_rung(self):
+        # Matching is fast; a delay injected at the inference stage burns
+        # the budget so the full-quality rung dies and the scope rung
+        # (grace budget, shrunk evaluation scope) answers instead.
+        case = nfl_suspensions_case()
+        config = AggCheckerConfig(claim_deadline=0.05)
+        checker = AggChecker(case.database, config, case.data_dictionary)
+        budget = 0.05 * len(case.claims)
+        with active(
+            FaultSpec("checker.rung", "sleep", match="full",
+                      seconds=budget + 0.2, times=1)
+        ):
+            report = checker.check_claims(case.document, case.claims)
+        assert all(v.degraded == "scope" for v in report.verdicts)
+        assert all(v.distribution is not None for v in report.verdicts)
+        assert report.engine_stats.deadline_degraded == 1
+        assert report.engine_stats.deadline_exec_skipped == 0
+
+    def test_exhausted_grace_reaches_no_exec_rung(self):
+        # Burn the main budget AND the scope rung's grace budget: the
+        # final rung answers from keyword evidence alone (no engine
+        # work), still inside the report.
+        case = nfl_suspensions_case()
+        config = AggCheckerConfig(claim_deadline=0.05)
+        checker = AggChecker(case.database, config, case.data_dictionary)
+        budget = 0.05 * len(case.claims)
+        with active(
+            FaultSpec("checker.rung", "sleep", match="full",
+                      seconds=budget + 0.2, times=1),
+            FaultSpec("checker.rung", "sleep", match="scope",
+                      seconds=budget + 0.2, times=1),
+        ):
+            report = checker.check_claims(case.document, case.claims)
+        assert all(v.degraded == "no_exec" for v in report.verdicts)
+        assert report.engine_stats.deadline_degraded == 1
+        assert report.engine_stats.deadline_exec_skipped == 1
+
+    def test_degraded_scope_budget_is_bounded(self):
+        assert DEGRADED_SCOPE_BUDGET >= 1
+
+    def test_corpus_run_survives_deadline(self, corpus):
+        # Deadline degradation composes with the harness: a corpus run
+        # under an impossible budget completes with every claim flagged
+        # unverifiable rather than erroring out.
+        config = AggCheckerConfig(claim_deadline=1e-9)
+        run = run_corpus(corpus, config, limit=2)
+        statuses = {
+            v.status
+            for result in run.results
+            for v in result.report.verdicts
+        }
+        assert statuses == {VerdictStatus.UNVERIFIABLE}
+        assert run.metrics.n_claims > 0
