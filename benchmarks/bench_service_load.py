@@ -1,0 +1,323 @@
+"""Queue-backed service under sustained open-loop load, plus a chaos soak.
+
+Drives a live queue-backed ``AsyncVerificationServer`` on a loopback
+port — the deployment shape of ``python -m repro serve`` — and writes
+``BENCH_service_load.json``:
+
+- ``load``: open-loop arrivals (documents POSTed on a fixed schedule,
+  independent of completion — the arrival process never slows down to
+  flatter the server) across several databases. Reports sustained
+  claims/sec and per-document stream latency p50/p99, and asserts the
+  delivery contract: zero lost claims (every stream reaches its summary
+  with every claim index present exactly once) and zero duplicated acks.
+- ``chaos``: the same workload shape at reduced scale with
+  :mod:`repro.faults` armed — workers killed mid-lease (lease-expiry
+  recovery), a clean executor failure (nack -> retry), a slow pipeline
+  stage, and a corrupt-cache probe. The soak passes only if, despite the
+  injected failures, every submitted job is acked exactly once: zero
+  lost, zero duplicated.
+
+The regression gate (``benchmarks/check_regression.py``) tracks the two
+``completion_ratio`` values (acked/submitted — hardware-independent and
+expected to stay 1.0); throughput and latency are reported for humans
+but never gated, since they track runner hardware.
+
+Smoke knobs (CI): ``BENCH_LOAD_DBS``, ``BENCH_LOAD_DOCS``,
+``BENCH_LOAD_CLAIMS``, ``BENCH_LOAD_ROWS``, ``BENCH_LOAD_RATE``,
+``BENCH_LOAD_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from bench_service import _claims_of, _env_int, _post_check, _write_article, _write_database_csv
+
+from repro.faults import FaultSpec, active
+from repro.harness.parallel import RetryPolicy
+from repro.harness.reporting import format_table
+from repro.ir.index import numpy_available
+from repro.service import create_async_server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_service_load.json"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+def _build_workload(tmp_path: Path, n_databases: int, docs_per_db: int,
+                    claims_per_doc: int, rows: int) -> list[dict]:
+    """One POST payload per document, round-robin over the databases."""
+    jobs: list[dict] = []
+    for db in range(n_databases):
+        csv_path = tmp_path / f"records_{db}.csv"
+        _write_database_csv(csv_path, rows, seed=300 + db)
+        for doc in range(docs_per_db):
+            article_path = tmp_path / f"report_{db}_{doc}.html"
+            _write_article(
+                article_path, db * docs_per_db + doc, claims_per_doc,
+                seed=400 + db * docs_per_db + doc,
+            )
+            jobs.append(
+                {"csv": [str(csv_path)], "article_path": str(article_path)}
+            )
+    return jobs
+
+
+def _open_loop(url: str, jobs: list[dict], rate: float) -> list[dict]:
+    """POST each document at its scheduled arrival time; gather results.
+
+    Open-loop means the schedule is fixed up front (arrival k at
+    ``k / rate`` seconds): a slow server accumulates queue depth instead
+    of slowing the arrival process, which is what exposes admission and
+    backpressure behavior.
+    """
+    interval = 1.0 / max(rate, 1e-6)
+    outcomes: list[dict] = [{} for _ in jobs]
+    epoch = time.perf_counter()
+
+    def submit(ordinal: int, payload: dict) -> None:
+        scheduled = epoch + ordinal * interval
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        started = time.perf_counter()
+        try:
+            events = _post_check(url, payload)
+        except Exception as error:  # a lost stream is a failed run
+            outcomes[ordinal] = {"error": repr(error)}
+            return
+        outcomes[ordinal] = {
+            "events": events,
+            # Latency from *scheduled* arrival: queue wait included.
+            "latency": time.perf_counter() - max(scheduled, epoch),
+            "started": started,
+        }
+
+    threads = [
+        threading.Thread(target=submit, args=(ordinal, payload))
+        for ordinal, payload in enumerate(jobs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    return outcomes
+
+
+def _assert_delivery(outcomes: list[dict], claims_per_doc: int) -> int:
+    """Zero lost / zero duplicated, per stream; returns total claims."""
+    total = 0
+    for ordinal, outcome in enumerate(outcomes):
+        assert "events" in outcome, (ordinal, outcome.get("error"))
+        events = outcome["events"]
+        summary = events[-1]
+        assert summary["event"] == "summary", (ordinal, summary)
+        assert summary["errors"] == 0, (ordinal, summary)
+        indexes = [e["index"] for e in events if e["event"] == "claim"]
+        # Every claim exactly once: nothing lost, nothing duplicated.
+        assert sorted(indexes) == list(range(claims_per_doc)), (
+            ordinal, indexes,
+        )
+        for claim in _claims_of(events):
+            assert claim["status"], (ordinal, claim)
+        total += len(indexes)
+    return total
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(
+        len(sorted_values) - 1, round(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[position]
+
+
+def _merge_output(section: str, payload: dict) -> dict:
+    """Update one section of BENCH_service_load.json, keeping the other."""
+    merged = {
+        "benchmark": "queue-backed service: open-loop load + chaos soak",
+        "numpy": numpy_available(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    if OUTPUT.exists():
+        try:
+            previous = json.loads(OUTPUT.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        for key in ("load", "chaos"):
+            if key in previous:
+                merged[key] = previous[key]
+    merged[section] = payload
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+    return merged
+
+
+def test_service_open_loop_load(capsys, tmp_path):
+    n_databases = _env_int("BENCH_LOAD_DBS", 2)
+    docs_per_db = _env_int("BENCH_LOAD_DOCS", 4)
+    claims_per_doc = _env_int("BENCH_LOAD_CLAIMS", 6)
+    rows = _env_int("BENCH_LOAD_ROWS", 600)
+    rate = _env_float("BENCH_LOAD_RATE", 4.0)
+    workers = _env_int("BENCH_LOAD_WORKERS", 4)
+
+    jobs = _build_workload(
+        tmp_path, n_databases, docs_per_db, claims_per_doc, rows
+    )
+    server = create_async_server(
+        port=0,
+        workers=workers,
+        queue_capacity=max(256, len(jobs) * claims_per_doc),
+        visibility_timeout=120.0,
+    )
+    server.start_in_thread()
+    try:
+        wall_started = time.perf_counter()
+        outcomes = _open_loop(server.url, jobs, rate)
+        wall = time.perf_counter() - wall_started
+        stats = server.service.stats()
+    finally:
+        server.shutdown_gracefully()
+
+    total_claims = _assert_delivery(outcomes, claims_per_doc)
+    queue = stats["queue"]
+    submitted = queue["enqueued"]
+    assert queue["acked"] == submitted, queue          # zero lost
+    assert queue["duplicate_acks"] == 0, queue         # zero duplicated
+    assert queue["deadlettered"] == 0, queue
+    assert stats["workers"]["worker_deaths"] == 0, stats["workers"]
+
+    latencies = sorted(o["latency"] for o in outcomes)
+    results = {
+        "databases": n_databases,
+        "documents": len(jobs),
+        "claims_per_doc": claims_per_doc,
+        "rows_per_database": rows,
+        "arrival_rate_docs_per_sec": rate,
+        "workers": workers,
+        "submitted_jobs": submitted,
+        "acked_jobs": queue["acked"],
+        "duplicate_acks": queue["duplicate_acks"],
+        "completion_ratio": round(queue["acked"] / max(submitted, 1), 4),
+        "claims_per_sec": round(total_claims / max(wall, 1e-9), 2),
+        "p50_seconds": round(_percentile(latencies, 0.50), 4),
+        "p99_seconds": round(_percentile(latencies, 0.99), 4),
+        "wall_seconds": round(wall, 4),
+    }
+    _merge_output("load", results)
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                "Queue-backed service: open-loop load",
+                ["Metric", "Value"],
+                [
+                    ["documents", str(len(jobs))],
+                    ["claims", str(total_claims)],
+                    ["claims/s", f"{results['claims_per_sec']:.1f}"],
+                    ["p50", f"{results['p50_seconds']:.3f}s"],
+                    ["p99", f"{results['p99_seconds']:.3f}s"],
+                    ["completion", f"{results['completion_ratio']:.4f}"],
+                ],
+            )
+        )
+        print(f"written: {OUTPUT}")
+
+
+def test_service_chaos_soak(capsys, tmp_path):
+    """The same load with failures injected: nothing lost, nothing doubled.
+
+    Armed faults (see :mod:`repro.faults`): two workers die mid-lease
+    (``queue.lease``/``raise`` — no ack, no nack; recovery is lease
+    expiry + re-delivery by a respawned worker), one clean executor
+    failure (``queue.exec``/``raise`` — nack -> jittered retry), one slow
+    matching stage (``checker.stage``/``sleep``), and one corrupt-cache
+    probe (``diskcache.read``/``corrupt`` — a no-op unless the pipeline
+    reads a disk cache, armed to prove the service path tolerates it).
+    """
+    n_databases = _env_int("BENCH_LOAD_CHAOS_DBS", 1)
+    docs_per_db = _env_int("BENCH_LOAD_CHAOS_DOCS", 3)
+    claims_per_doc = _env_int("BENCH_LOAD_CHAOS_CLAIMS", 4)
+    rows = _env_int("BENCH_LOAD_ROWS", 600)
+    rate = _env_float("BENCH_LOAD_RATE", 4.0)
+
+    jobs = _build_workload(
+        tmp_path, n_databases, docs_per_db, claims_per_doc, rows
+    )
+    server = create_async_server(
+        port=0,
+        workers=2,
+        queue_capacity=256,
+        visibility_timeout=1.0,
+        retry=RetryPolicy(max_attempts=6, backoff_base=0.05, backoff_cap=0.2),
+    )
+    server.start_in_thread()
+    try:
+        with active(
+            FaultSpec("queue.lease", "raise", times=2),
+            FaultSpec("queue.exec", "raise", times=1),
+            FaultSpec("checker.stage", "sleep", match="match",
+                      seconds=0.3, times=1),
+            FaultSpec("diskcache.read", "corrupt", times=1),
+        ):
+            wall_started = time.perf_counter()
+            outcomes = _open_loop(server.url, jobs, rate)
+            wall = time.perf_counter() - wall_started
+        stats = server.service.stats()
+    finally:
+        server.shutdown_gracefully()
+
+    total_claims = _assert_delivery(outcomes, claims_per_doc)
+    queue = stats["queue"]
+    submitted = queue["enqueued"]
+    # The acceptance contract of the chaos soak: at-least-once execution
+    # converged to exactly-once delivery despite injected worker deaths.
+    assert queue["acked"] == submitted, queue          # zero lost
+    assert queue["duplicate_acks"] == 0, queue         # zero duplicated
+    assert queue["deadlettered"] == 0, queue
+    assert stats["workers"]["worker_deaths"] >= 2, stats["workers"]
+    assert queue["expired_leases"] >= 1, queue
+
+    results = {
+        "databases": n_databases,
+        "documents": len(jobs),
+        "claims_per_doc": claims_per_doc,
+        "submitted_jobs": submitted,
+        "acked_jobs": queue["acked"],
+        "duplicate_acks": queue["duplicate_acks"],
+        "completion_ratio": round(queue["acked"] / max(submitted, 1), 4),
+        "worker_deaths": stats["workers"]["worker_deaths"],
+        "expired_leases": queue["expired_leases"],
+        "retried": queue["retried"],
+        "deadlettered": queue["deadlettered"],
+        "claims_per_sec": round(total_claims / max(wall, 1e-9), 2),
+        "wall_seconds": round(wall, 4),
+    }
+    _merge_output("chaos", results)
+
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                "Queue-backed service: chaos soak",
+                ["Metric", "Value"],
+                [
+                    ["documents", str(len(jobs))],
+                    ["worker deaths", str(results["worker_deaths"])],
+                    ["retries", str(results["retried"])],
+                    ["lost", str(submitted - queue["acked"])],
+                    ["duplicated", str(queue["duplicate_acks"])],
+                    ["completion", f"{results['completion_ratio']:.4f}"],
+                ],
+            )
+        )
+        print(f"written: {OUTPUT}")

@@ -125,6 +125,20 @@ SPECS: dict[str, tuple] = {
         },
         lambda p: (),
     ),
+    "BENCH_service_load.json": (
+        # The gated ratios are delivery contracts (acked/submitted), not
+        # timings, so the workload signature is the document/claim shape
+        # only — runner speed cannot change what 1.0 means.
+        lambda p: _params(
+            p, "numpy", "load.documents", "load.claims_per_doc",
+            "chaos.documents", "chaos.claims_per_doc",
+        ),
+        lambda p: {
+            "load_completion_ratio": _lookup(p, "load.completion_ratio"),
+            "chaos_completion_ratio": _lookup(p, "chaos.completion_ratio"),
+        },
+        lambda p: (),
+    ),
 }
 
 

@@ -17,11 +17,14 @@ statistics of the built-in evaluation corpus; ``corpus-run`` verifies the
 built-in corpus end to end, optionally sharded over worker processes
 (``--workers``, 0 = one per CPU) with a shared persistent cube cache
 (``--cache-dir``), and reports precision/recall/F1, coverage, throughput,
-and cache hit rates. ``serve`` runs the resident verification service:
-``POST /check`` streams per-claim NDJSON verdicts from a warm checker
-pool with incremental re-checking; ``GET /health`` and ``GET /stats``
-expose service and engine counters (see ARCHITECTURE.md, "Service
-layer").
+and cache hit rates; cases that exhaust their retry budget are printed
+one per line and the exit code is 3. ``serve`` runs the resident
+verification service: ``POST /check`` admits each document onto a
+bounded durable job queue (``--queue-dir`` makes it crash-survivable)
+and streams per-claim NDJSON verdicts as a worker pool leases, verifies,
+and acks the jobs; ``GET /health``, ``GET /stats``, and
+``GET /deadletter`` expose service, queue, and engine counters (see
+ARCHITECTURE.md, "Service layer" and "Queue & delivery semantics").
 """
 
 from __future__ import annotations
@@ -162,12 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="run the resident verification service (warm pool, NDJSON streaming)",
+        help="run the resident verification service (durable queue, NDJSON streaming)",
         description="Serve POST /check (document + database reference -> "
-        "streamed per-claim NDJSON verdicts), GET /health, and GET /stats "
-        "from a long-running process. Checkers stay warm per database "
+        "streamed per-claim NDJSON verdicts), GET /health, GET /stats, and "
+        "GET /deadletter from a long-running process. Admission decomposes "
+        "each document into per-claim jobs on a bounded durable queue; a "
+        "worker pool leases, verifies, and acks them with at-least-once "
+        "delivery, retries with jittered backoff, and a dead-letter "
+        "quarantine. With --queue-dir the queue journal survives crashes: "
+        "a restarted server resumes unfinished jobs. Per-client token "
+        "buckets (--rate-limit) and queue-depth backpressure shed excess "
+        "load with 429 + Retry-After. Checkers stay warm per database "
         "content fingerprint; verdicts are memoized per claim so "
-        "resubmitting an edited document re-evaluates only changed claims.",
+        "resubmitting an edited document re-evaluates only changed claims. "
+        "--legacy-server restores the PR-5 thread-per-request front end.",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -221,8 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         metavar="N",
-        help="max concurrent /check requests before shedding with 429 + "
-        "Retry-After (default: 8)",
+        help="(legacy server only) max concurrent /check requests before "
+        "shedding with 429 + Retry-After (default: 8)",
     )
     serve.add_argument(
         "--request-timeout",
@@ -230,6 +241,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock budget per /check request; past it, verdicts "
         "degrade instead of the request holding a slot indefinitely",
+    )
+    serve.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        help="durable queue directory (journal survives crashes; omit for "
+        "an in-memory queue)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="max live (pending + leased) claim jobs before admission "
+        "sheds with 429 + Retry-After (default: 1024)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="verification worker threads leasing off the queue (default: 2)",
+    )
+    serve.add_argument(
+        "--visibility-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="lease duration; a job unacked past this is presumed lost "
+        "and re-delivered (default: 30)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="per-client request rate (X-Client-Id header or peer "
+        "address); 0 disables (default: 0)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        metavar="N",
+        help="per-client burst allowance (default: max(1, 2x rate))",
+    )
+    serve.add_argument(
+        "--legacy-server",
+        action="store_true",
+        help="serve with the thread-per-request front end instead of the "
+        "queue-backed asyncio core",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
@@ -355,15 +415,20 @@ def _run_corpus(args) -> int:
             str(index): error for index, error in run.quarantined.items()
         },
     }
+    # Quarantined cases are incomplete work: surface each one and exit
+    # non-zero so CI and scripts cannot mistake a partial run for a
+    # clean one.
     if args.json:
         print(json.dumps(payload, indent=2))
-        return 0
+        return 3 if run.quarantined else 0
     print(f"cases: {payload['cases']}, claims: {payload['claims']}")
     if run.quarantined:
         print(
             f"quarantined: {len(run.quarantined)} case(s) exhausted their "
-            f"retry budget: {sorted(run.quarantined)}"
+            f"retry budget"
         )
+        for index in sorted(run.quarantined):
+            print(f"  case {index}: {run.quarantined[index]}")
     print(
         f"precision: {payload['precision']:.3f}, "
         f"recall: {payload['recall']:.3f}, f1: {payload['f1']:.3f}"
@@ -381,40 +446,81 @@ def _run_corpus(args) -> int:
         f"memory hit rate {payload['memory_cache_hit_rate']:.1%}, "
         f"disk hit rate {payload['disk_cache_hit_rate']:.1%}"
     )
-    return 0
+    return 3 if run.quarantined else 0
 
 
 def _run_serve(args) -> int:
-    from repro.service.server import create_server
-
     config = AggCheckerConfig(
         predicate_hits=args.hits,
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
     ).with_em(p_true=args.p_true)
-    server = create_server(
+    tier = "off" if args.no_incremental else "on"
+
+    if args.legacy_server:
+        from repro.service.server import create_server
+
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            config=config,
+            incremental=not args.no_incremental,
+            incremental_capacity=args.incremental_capacity,
+            max_databases=args.max_databases,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+            verbose=args.verbose,
+        )
+        print(
+            f"repro service listening on {server.url} "
+            f"(incremental re-check {tier}; Ctrl-C drains and stops)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("draining in-flight requests ...", file=sys.stderr)
+        finally:
+            server.server_close()
+        return 0
+
+    from repro.service.aio import create_async_server
+
+    server = create_async_server(
         host=args.host,
         port=args.port,
         config=config,
+        queue_dir=args.queue_dir,
+        queue_capacity=args.queue_capacity,
+        workers=args.queue_workers,
+        visibility_timeout=args.visibility_timeout,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
         incremental=not args.no_incremental,
         incremental_capacity=args.incremental_capacity,
         max_databases=args.max_databases,
-        max_inflight=args.max_inflight,
         request_timeout=args.request_timeout,
         verbose=args.verbose,
     )
-    tier = "off" if args.no_incremental else "on"
-    print(
-        f"repro service listening on {server.url} "
-        f"(incremental re-check {tier}; Ctrl-C drains and stops)"
-    )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("draining in-flight requests ...", file=sys.stderr)
-    finally:
-        server.server_close()
+
+    def _announce(instance) -> None:
+        resumed = instance.service.queue.resumed
+        durable = "durable" if args.queue_dir else "in-memory"
+        note = f"; resumed {resumed} journaled job(s)" if resumed else ""
+        print(
+            f"repro service listening on {instance.url} "
+            f"({durable} queue, {args.queue_workers} worker(s), "
+            f"incremental re-check {tier}{note}; Ctrl-C drains and stops)",
+            flush=True,
+        )
+
+    server.run_blocking(on_ready=_announce)
+    journaled = server.service.journaled_on_drain
+    if journaled:
+        print(
+            f"drained: {journaled} job(s) journaled for resume",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -99,3 +99,31 @@ class InjectedFault(ReproError):
 
 class CheckpointError(ReproError):
     """A corpus-run checkpoint could not be loaded or does not match."""
+
+
+class RateLimitedError(ReproError):
+    """A client exceeded its token-bucket rate limit (maps to HTTP 429)."""
+
+    def __init__(self, client: str, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"client {client!r} is rate limited; retry in "
+            f"~{retry_after_seconds:.1f}s"
+        )
+        self.client = client
+        self.retry_after_seconds = retry_after_seconds
+
+
+class QueueFullError(ReproError):
+    """The durable job queue is at capacity (maps to HTTP 429).
+
+    Carries a depth-aware ``retry_after_seconds`` estimate that the HTTP
+    front end surfaces as a ``Retry-After`` header.
+    """
+
+    def __init__(self, capacity: int, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"job queue is at capacity ({capacity}); retry in "
+            f"~{retry_after_seconds:.0f}s"
+        )
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds

@@ -18,7 +18,14 @@ Fire points (``fire(point, key, payload)`` is a no-op unless armed):
 - ``checker.rung``    — key = degradation rung (``full``, ``scope``,
   ``no_exec``), at the start of that inference attempt;
 - ``checker.claim``   — key = the claim mention text, per claim;
-- ``diskcache.read``  — key = cache file name, payload = its path.
+- ``diskcache.read``  — key = cache file name, payload = its path;
+- ``queue.worker``    — key = worker name, at the top of each queue
+  worker loop (``raise`` kills the worker thread before it leases);
+- ``queue.lease``     — key = job group id, after a group is leased but
+  outside the nack handler (``raise`` simulates a worker dying mid-job:
+  no ack, no nack — recovery is lease expiry + re-delivery);
+- ``queue.exec``      — key = job group id, inside the execution handler
+  (``raise`` exercises the clean nack -> retry -> dead-letter path).
 
 Actions: ``kill`` (``os._exit``, simulating SIGKILL/OOM), ``raise``
 (:class:`~repro.errors.InjectedFault`), ``sleep`` (consume ``seconds`` of

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -58,13 +59,19 @@ _WORKER_STATE: tuple[list[TestCase], AggCheckerConfig | None] | None = None
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff for failed cases.
+    """Bounded retry with exponential backoff plus decorrelated jitter.
 
-    ``max_attempts`` counts the original shard run plus isolated retries:
-    the default of 3 gives a case that was innocent collateral of a
-    neighboring crash two clean chances before quarantine. Backoff is
-    deterministic (no jitter): retries run one at a time, so the thundering
-    herd that jitter prevents cannot occur, and tests stay reproducible.
+    ``max_attempts`` counts the original attempt plus retries: the default
+    of 3 gives a case that was innocent collateral of a neighboring crash
+    two clean chances before quarantine. :meth:`backoff_seconds` is the
+    deterministic exponential schedule (the reproducible floor tests pin
+    down); :meth:`sleep_seconds` layers *decorrelated jitter* on top —
+    uniform in ``[base, min(cap, 3 * previous sleep)]`` — so many
+    consumers retrying the same shared resource (the service worker pool,
+    clients honoring 429s) decorrelate instead of thundering back in
+    lockstep. Callers that retry strictly one at a time (the corpus
+    runner's isolation sandbox) still benefit: the jittered value is
+    always within ``[backoff_seconds(1), backoff_cap]``.
     """
 
     max_attempts: int = 3
@@ -78,11 +85,37 @@ class RetryPolicy:
             )
 
     def backoff_seconds(self, retry_ordinal: int) -> float:
-        """Sleep before the ``retry_ordinal``-th retry (1-based)."""
+        """Deterministic sleep before the ``retry_ordinal``-th retry (1-based)."""
         return min(
             self.backoff_cap,
             self.backoff_base * (2 ** (retry_ordinal - 1)),
         )
+
+    def sleep_seconds(
+        self,
+        retry_ordinal: int,
+        previous: float | None = None,
+        rng: "random.Random | None" = None,
+    ) -> float:
+        """Decorrelated-jitter sleep before the next retry.
+
+        ``previous`` is the sleep used before the prior retry (None for
+        the first): the next sleep is drawn uniformly from
+        ``[backoff_base, min(cap, 3 * previous)]``, the AWS
+        "decorrelated jitter" recipe — successive retries spread out over
+        an exponentially growing window instead of synchronizing on the
+        deterministic schedule. Pass a seeded ``rng`` for reproducible
+        tests; the module default is shared process-wide.
+        """
+        generator = rng if rng is not None else random
+        if previous is None or previous <= 0:
+            previous = self.backoff_base
+        ceiling = min(self.backoff_cap, 3.0 * previous)
+        floor = min(self.backoff_base, ceiling)
+        jittered = generator.uniform(floor, ceiling)
+        # Never sleep less than the deterministic first-step floor, never
+        # more than the cap — the bounds tests rely on.
+        return min(self.backoff_cap, max(jittered, floor))
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -274,8 +307,10 @@ def _recover(
     """
     for index in failed:
         last_error = "failed in worker shard (no retry budget)"
+        slept: float | None = None
         for retry_ordinal in range(1, retry.max_attempts):
-            time.sleep(retry.backoff_seconds(retry_ordinal))
+            slept = retry.sleep_seconds(retry_ordinal, previous=slept)
+            time.sleep(slept)
             try:
                 done[index] = _run_isolated(cases, config, index, context)
                 break

@@ -1,8 +1,9 @@
 """Verification service layer: the AggChecker as a resident process.
 
 ``python -m repro serve`` exposes the verification pipeline over HTTP
-with a warm checker pool, streamed NDJSON verdicts, and an incremental
-re-check tier (see ARCHITECTURE.md, "Service layer")::
+with a warm checker pool, streamed NDJSON verdicts, an incremental
+re-check tier, and a durable queue-backed core (see ARCHITECTURE.md,
+"Service layer" and "Queue & delivery semantics")::
 
     from repro.service import CheckRequest, VerificationService
 
@@ -12,6 +13,12 @@ re-check tier (see ARCHITECTURE.md, "Service layer")::
     ))
 """
 
+from repro.service.aio import (
+    AsyncVerificationServer,
+    QueueService,
+    create_async_server,
+)
+from repro.service.client import ServiceClient
 from repro.service.incremental import (
     IncrementalCache,
     IncrementalStats,
@@ -25,20 +32,31 @@ from repro.service.protocol import (
     parse_article,
     verdict_payload,
 )
+from repro.service.queue import DurableJobQueue
+from repro.service.ratelimit import ClientRateLimiter
 from repro.service.server import (
     VerificationServer,
     VerificationService,
     create_server,
 )
+from repro.service.workers import CircuitBreaker, WorkerPool
 
 __all__ = [
+    "AsyncVerificationServer",
     "CheckRequest",
+    "CircuitBreaker",
+    "ClientRateLimiter",
+    "DurableJobQueue",
     "IncrementalCache",
     "IncrementalStats",
     "ProtocolError",
+    "QueueService",
+    "ServiceClient",
     "VerificationServer",
     "VerificationService",
+    "WorkerPool",
     "config_fingerprint",
+    "create_async_server",
     "create_server",
     "encode_event",
     "parse_article",

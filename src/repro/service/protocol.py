@@ -185,6 +185,39 @@ class CheckRequest:
         return parse_article(self.article, self.title)
 
 
+def data_spec(request: CheckRequest) -> dict:
+    """The JSON-serializable *data* half of a request.
+
+    Journaled with every queue job (and kept in the service's reference
+    registry) so a restarted server can rebuild the database, dictionary,
+    and checker for a job whose original request is long gone. Inline
+    table text is carried verbatim; ``csv``/``data_dict`` paths stay
+    paths — they are server-side files by contract.
+    """
+    return {
+        "csv": list(request.csv_paths),
+        "tables": dict(request.inline_tables),
+        "data_dict": request.data_dict,
+        "data_dict_path": request.data_dict_path,
+        "database_name": request.database_name,
+    }
+
+
+def spec_request(
+    source: dict, article: str, title: str
+) -> CheckRequest:
+    """Rebuild the :class:`CheckRequest` a journaled job was admitted as."""
+    return CheckRequest(
+        csv_paths=tuple(source.get("csv") or ()),
+        inline_tables=tuple(sorted((source.get("tables") or {}).items())),
+        article=article,
+        title=title,
+        data_dict=source.get("data_dict"),
+        data_dict_path=source.get("data_dict_path"),
+        database_name=source.get("database_name") or "service",
+    )
+
+
 def _optional_str(payload: dict, key: str) -> str | None:
     value = payload.get(key)
     if value is not None and not isinstance(value, str):

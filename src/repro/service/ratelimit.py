@@ -1,0 +1,114 @@
+"""Per-client token-bucket rate limiting for the service front end.
+
+The PR-6 global in-flight gate treated all clients as one: a single
+aggressive client could starve everyone behind a shared 429. The queue
+front end limits *per client* instead (``X-Client-Id`` header, falling
+back to the peer address): each client owns a token bucket refilled at
+``rate`` requests/second up to ``burst`` tokens, so short spikes pass and
+sustained floods are shed with a precise ``Retry-After`` — the seconds
+until that client's next token, not a global guess.
+
+Buckets live in a bounded LRU (an open service sees unbounded client-id
+cardinality; the oldest idle bucket is evicted past ``max_clients``,
+which at worst briefly *refills* a long-idle client — never blocks a new
+one). Thread-safe: admission runs on asyncio's default executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` tokens refilled at ``rate``/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def take(self, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until one token is available (0 when already spendable)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """Bounded map of per-client token buckets.
+
+    ``rate <= 0`` disables limiting entirely (every ``allow`` passes) —
+    the CLI default, so small deployments opt in rather than trip over a
+    surprise 429.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        max_clients: int = 4096,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, 2.0 * rate)
+        if rate > 0 and self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self.max_clients = max_clients
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.allowed = 0
+        self.limited = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> tuple[bool, float]:
+        """``(admitted, retry_after_seconds)`` for one request by ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            if bucket.take(now):
+                self.allowed += 1
+                return True, 0.0
+            self.limited += 1
+            return False, bucket.retry_after(now)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate_per_sec": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "allowed": self.allowed,
+                "limited": self.limited,
+            }

@@ -59,6 +59,7 @@ from repro.service.protocol import (
     CheckRequest,
     ProtocolError,
     claim_event,
+    data_spec,
     encode_event,
     error_event,
     verdict_payload,
@@ -149,6 +150,11 @@ class VerificationService:
             OrderedDict()
         )
         self._by_content: dict[str, dict[str, PoolEntry]] = {}
+        # scope fingerprint -> the JSON-serializable data spec (csv paths /
+        # inline tables / dictionary) it was registered from. The queue
+        # tier journals this with each job so a restarted server can
+        # rebuild the checker for fingerprint-referenced requests.
+        self._sources: dict[str, dict] = {}
         self.requests = 0
         self.claims_served = 0
         self.claims_from_cache = 0
@@ -165,6 +171,18 @@ class VerificationService:
         *before* any response bytes are committed, so transport errors
         map cleanly to HTTP status codes.
         """
+        prepared = self.resolve(request)
+        with self._counter_lock:
+            self.requests += 1
+        return prepared
+
+    def resolve(self, request: CheckRequest) -> _PreparedCheck:
+        """Like :meth:`prepare` but without counting a request.
+
+        The queue worker pool re-resolves journaled jobs through here:
+        a retried job must warm the same pooled checker as a live request
+        without inflating the request counter.
+        """
         document = request.load_document()
         if request.database is not None:
             database_fp, scope_fp, entry = self._resolve_reference(
@@ -180,10 +198,8 @@ class VerificationService:
                 lambda: AggChecker(database, self.config, dictionary),
                 keepalive=database,
             )
-            self._register(database_fp, scope_fp, entry)
+            self._register(database_fp, scope_fp, entry, source=data_spec(request))
         claims = detect_claims(document, self.config.claim_detection)
-        with self._counter_lock:
-            self.requests += 1
         return _PreparedCheck(
             request, document, entry, claims, database_fp, scope_fp
         )
@@ -223,14 +239,21 @@ class VerificationService:
         )
 
     def _register(
-        self, database_fp: str, scope_fp: str, entry: PoolEntry
+        self,
+        database_fp: str,
+        scope_fp: str,
+        entry: PoolEntry,
+        source: dict | None = None,
     ) -> None:
         with self._registry_lock:
             self._by_scope[scope_fp] = (database_fp, entry)
             self._by_scope.move_to_end(scope_fp)
             self._by_content.setdefault(database_fp, {})[scope_fp] = entry
+            if source is not None:
+                self._sources[scope_fp] = source
             while len(self._by_scope) > self.max_databases:
                 old_scope, (old_db, _) = self._by_scope.popitem(last=False)
+                self._sources.pop(old_scope, None)
                 content_scopes = self._by_content.get(old_db)
                 if content_scopes is not None:
                     content_scopes.pop(old_scope, None)
@@ -241,6 +264,11 @@ class VerificationService:
                 # the data rebuilds it (incremental-tier entries survive:
                 # they are keyed by the stable scope fingerprint).
                 self.pool.discard(("content", old_scope))
+
+    def source_for(self, scope_fp: str) -> dict | None:
+        """The registered data spec behind one checker fingerprint."""
+        with self._registry_lock:
+            return self._sources.get(scope_fp)
 
     def stream(self, prepared: _PreparedCheck) -> Iterator[dict]:
         """Yield the NDJSON event sequence for one prepared request.
@@ -449,6 +477,16 @@ class VerificationService:
     def note_error(self) -> None:
         with self._counter_lock:
             self.request_errors += 1
+
+    def note_served(self, claims: int, cached: int) -> None:
+        """Book one completed document (queue front end bookkeeping)."""
+        with self._counter_lock:
+            self.claims_served += claims
+            self.claims_from_cache += cached
+
+    def note_rejected(self) -> None:
+        with self._counter_lock:
+            self.rejected_requests += 1
 
     def note_dropped_stream(self) -> None:
         """A client hung up mid-stream (visible via GET /stats)."""

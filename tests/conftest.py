@@ -29,6 +29,7 @@ _NEEDS_MODEL = (
     "tests/core/test_checker.py",
     "tests/core/test_interactive.py",
     "tests/harness/",
+    "tests/service/test_aio.py",
     "tests/service/test_resilience.py",
     "tests/service/test_server.py",
     "tests/test_cli.py",

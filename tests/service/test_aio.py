@@ -1,0 +1,487 @@
+"""End-to-end tests for the queue-backed asyncio service front end.
+
+The acceptance contracts of the durable-queue PR, against a live
+loopback server: queued-path verdicts are bit-identical to the one-shot
+``check`` CLI, per-client rate limiting and queue-depth backpressure
+shed with ``429`` + ``Retry-After`` (and the stdlib client honors it),
+poison claims land in the dead-letter quarantine without poisoning the
+stream, an open circuit breaker degrades verdicts through the deadline
+ladder instead of collapsing the queue, a graceful drain journals
+pending jobs, a restarted service resumes and completes them, and a
+``kill -9`` mid-load loses nothing. Skipped on the no-NumPy leg (full
+pipeline) via tests/conftest.py.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import ENV_FAULTS, ENV_STATE, FaultSpec, active, encode_specs
+from repro.harness.parallel import RetryPolicy
+from repro.service import CheckRequest, ServiceClient
+from repro.service.aio import QueueService, create_async_server
+
+from tests.service.test_server import (
+    NFL_ARTICLE,
+    NFL_CSV,
+    SALES_ARTICLE,
+    SALES_CSV,
+    claims_of,
+    cli_claims,
+    get_json,
+    post_check,
+)
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=2, backoff_base=0.01, backoff_cap=0.05
+)
+
+
+@pytest.fixture()
+def data_files(tmp_path):
+    nfl = tmp_path / "nflsuspensions.csv"
+    nfl.write_text(NFL_CSV)
+    sales = tmp_path / "sales.csv"
+    sales.write_text(SALES_CSV)
+    nfl_article = tmp_path / "nfl_article.html"
+    nfl_article.write_text(NFL_ARTICLE)
+    sales_article = tmp_path / "sales_article.txt"
+    sales_article.write_text(SALES_ARTICLE)
+    return {
+        "nfl": nfl,
+        "sales": sales,
+        "nfl_article": nfl_article,
+        "sales_article": sales_article,
+    }
+
+
+def serve(**kwargs):
+    kwargs.setdefault("visibility_timeout", 5.0)
+    server = create_async_server(port=0, **kwargs)
+    server.start_in_thread()
+    return server
+
+
+def wait_for(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestBitIdentity:
+    def test_queued_verdicts_match_the_one_shot_cli(
+        self, data_files, capsys
+    ):
+        server = serve(workers=2)
+        try:
+            for csv, article in (
+                ("nfl", "nfl_article"), ("sales", "sales_article"),
+            ):
+                events = post_check(
+                    server.url,
+                    {
+                        "csv": str(data_files[csv]),
+                        "article_path": str(data_files[article]),
+                    },
+                )
+                oracle = cli_claims(
+                    capsys, data_files[csv], data_files[article]
+                )
+                assert claims_of(events) == oracle
+                summary = events[-1]
+                assert summary["event"] == "summary"
+                assert summary["errors"] == 0
+                assert summary["evaluated_claims"] == summary["claims"]
+        finally:
+            server.shutdown_gracefully()
+
+    def test_resubmission_is_served_from_the_incremental_tier(
+        self, data_files
+    ):
+        server = serve(workers=1)
+        try:
+            payload = {
+                "csv": str(data_files["nfl"]),
+                "article_path": str(data_files["nfl_article"]),
+            }
+            first = post_check(server.url, payload)
+            second = post_check(server.url, payload)
+            assert claims_of(first) == claims_of(second)
+            assert all(
+                e["cached"] for e in second if e["event"] == "claim"
+            )
+            assert second[-1]["cached_claims"] == second[-1]["claims"]
+            assert server.service.queue.stats()["enqueued"] == len(
+                claims_of(first)
+            )
+        finally:
+            server.shutdown_gracefully()
+
+
+class TestBackpressure:
+    def test_rate_limited_client_gets_429_with_retry_after(
+        self, data_files
+    ):
+        server = serve(workers=1, rate_limit=0.001, rate_burst=1.0)
+        try:
+            payload = {
+                "csv": str(data_files["nfl"]),
+                "article_path": str(data_files["nfl_article"]),
+            }
+            post_check(server.url, payload)  # spends alice's one token
+            body = json.dumps(payload).encode()
+            request = urllib.request.Request(
+                server.url + "/check",
+                data=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Client-Id": "alice",
+                },
+            )
+            # The first request came from the peer-address identity, so
+            # alice still has her burst; spend it, then expect the shed.
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+                response.read()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        server.url + "/check",
+                        data=body,
+                        headers={
+                            "Content-Type": "application/json",
+                            "X-Client-Id": "alice",
+                        },
+                    )
+                )
+            assert excinfo.value.code == 429
+            assert float(excinfo.value.headers["Retry-After"]) >= 1
+            excinfo.value.close()
+            # A different client id is not affected.
+            with urllib.request.urlopen(
+                urllib.request.Request(
+                    server.url + "/check",
+                    data=body,
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Client-Id": "bob",
+                    },
+                )
+            ) as response:
+                assert response.status == 200
+        finally:
+            server.shutdown_gracefully()
+
+    def test_service_client_honors_retry_after_with_jitter(
+        self, data_files
+    ):
+        server = serve(workers=1, rate_limit=5.0, rate_burst=1.0)
+        try:
+            payload = {
+                "csv": str(data_files["nfl"]),
+                "article_path": str(data_files["nfl_article"]),
+            }
+            slept: list[float] = []
+
+            def sleep(seconds: float) -> None:
+                # Record the computed wait, but cap the real one so the
+                # test stays fast; tokens refill at 5/s regardless.
+                slept.append(seconds)
+                time.sleep(min(seconds, 0.5))
+
+            client = ServiceClient(
+                server.url,
+                client_id="carol",
+                retry=RetryPolicy(max_attempts=4),
+                sleep=sleep,
+            )
+            first = client.check(payload)
+            second = client.check(payload)  # shed once, then retried
+            assert claims_of(first) == claims_of(second)
+            assert client.retries >= 1
+            # Each wait = server Retry-After floor + client jitter.
+            assert all(delay > 0 for delay in slept)
+        finally:
+            server.shutdown_gracefully()
+
+    def test_full_queue_sheds_with_429(self, data_files):
+        # Capacity below the document's claim count: admission must
+        # reject up front (429 + Retry-After), never half-enqueue.
+        server = serve(workers=1, queue_capacity=1)
+        try:
+            body = json.dumps(
+                {
+                    "csv": str(data_files["nfl"]),
+                    "article_path": str(data_files["nfl_article"]),
+                    "incremental": False,
+                }
+            ).encode()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        server.url + "/check",
+                        data=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                )
+            assert excinfo.value.code == 429
+            assert "Retry-After" in excinfo.value.headers
+            excinfo.value.close()
+            assert server.service.queue.stats()["enqueued"] == 0
+        finally:
+            server.shutdown_gracefully()
+
+
+@pytest.mark.faults
+class TestFaultTolerance:
+    def test_poison_jobs_deadletter_without_poisoning_the_stream(
+        self, data_files
+    ):
+        server = serve(workers=1, retry=FAST_RETRY)
+        try:
+            with active(
+                FaultSpec("queue.exec", "raise", times=0)
+            ):
+                events = post_check(
+                    server.url,
+                    {
+                        "csv": str(data_files["nfl"]),
+                        "article_path": str(data_files["nfl_article"]),
+                    },
+                )
+            summary = events[-1]
+            assert summary["event"] == "summary"
+            n = summary["claims"]
+            errors = [
+                e for e in events if e["event"] == "error" and "index" in e
+            ]
+            assert len(errors) == n and summary["errors"] == n
+            dead = get_json(server.url + "/deadletter")
+            assert dead["count"] == n
+            assert all("injected fault" in d["error"] for d in dead["deadletter"])
+            stats = server.service.queue.stats()
+            assert stats["retried"] >= n  # at least one retry each
+            assert stats["deadlettered"] == n
+        finally:
+            server.shutdown_gracefully()
+
+    def test_killed_workers_are_respawned_and_jobs_complete(
+        self, data_files, capsys
+    ):
+        server = serve(
+            workers=2,
+            retry=RetryPolicy(max_attempts=5),
+            visibility_timeout=1.0,
+        )
+        try:
+            # Kill each worker thread once, mid-lease: no ack, no nack.
+            # Recovery is reaper respawn + lease expiry + re-delivery.
+            with active(
+                FaultSpec("queue.lease", "raise", times=2)
+            ):
+                events = post_check(
+                    server.url,
+                    {
+                        "csv": str(data_files["nfl"]),
+                        "article_path": str(data_files["nfl_article"]),
+                    },
+                )
+            oracle = cli_claims(
+                capsys, data_files["nfl"], data_files["nfl_article"]
+            )
+            assert claims_of(events) == oracle
+            pool = server.service.workers.stats()
+            assert pool["worker_deaths"] >= 1
+            assert pool["alive"] == 2  # respawned
+            assert server.service.queue.stats()["expired_leases"] >= 1
+        finally:
+            server.shutdown_gracefully()
+
+    def test_open_breaker_degrades_verdicts_instead_of_queueing(
+        self, data_files
+    ):
+        server = serve(workers=1, breaker_threshold=1, breaker_cooldown=60.0)
+        try:
+            server.service.breaker.record_failure()  # force open
+            assert server.service.breaker.state == "open"
+            events = post_check(
+                server.url,
+                {
+                    "csv": str(data_files["nfl"]),
+                    "article_path": str(data_files["nfl_article"]),
+                },
+            )
+            claims = claims_of(events)
+            assert claims, "breaker-open stream still delivers verdicts"
+            for claim in claims:
+                assert claim["status"] == "unverifiable"
+                assert claim["degraded"] is not None
+            assert get_json(server.url + "/health")["status"] == "degraded"
+        finally:
+            server.shutdown_gracefully()
+
+
+class TestDrainAndResume:
+    def test_drain_journals_pending_jobs_and_restart_completes_them(
+        self, tmp_path, data_files, capsys
+    ):
+        queue_dir = tmp_path / "queue"
+        request = CheckRequest(
+            csv_paths=(str(data_files["nfl"]),),
+            article_path=str(data_files["nfl_article"]),
+        )
+        told: list[str] = []
+        first = QueueService(queue_dir=queue_dir, workers=1)
+        # Workers never started: everything admitted stays pending.
+        admission = first.admit(
+            request,
+            "client",
+            lambda index: lambda kind, job, p: told.append(kind),
+        )
+        n = len(admission.pending)
+        assert n > 0
+        assert first.drain() == n
+        assert told == ["drained"] * n
+
+        second = QueueService(queue_dir=queue_dir, workers=1)
+        assert second.queue.resumed == n
+        second.start()  # journaled jobs execute with no client attached
+        assert wait_for(
+            lambda: second.queue.stats()["completed"] == n
+        ), second.queue.stats()
+        # The resumed executions landed in the incremental tier:
+        # resubmission answers entirely from cache, bit-identical to the
+        # one-shot CLI.
+        replay = second.admit(
+            request, "client", lambda index: lambda *a: None
+        )
+        assert replay.n_cached == n and not replay.pending
+        payloads = [
+            e["claim"] for e in replay.events if e["event"] == "claim"
+        ]
+        oracle = cli_claims(
+            capsys, data_files["nfl"], data_files["nfl_article"]
+        )
+        assert payloads == oracle
+        second.drain()
+
+
+@pytest.mark.faults
+class TestKillDashNine:
+    def test_sigkill_mid_load_resumes_from_the_journal(
+        self, tmp_path, data_files, capsys
+    ):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        queue_dir = tmp_path / "queue"
+        state_dir = tmp_path / "fault-state"
+        state_dir.mkdir()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        # Stall every worker loop so admitted jobs stay pending long
+        # enough to be killed mid-load.
+        env[ENV_FAULTS] = encode_specs(
+            (FaultSpec("queue.worker", "sleep", seconds=30.0, times=0),)
+        )
+        env[ENV_STATE] = str(state_dir)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--queue-dir", str(queue_dir), "--queue-workers", "1",
+            ],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            url = banner.split("listening on ", 1)[1].split()[0]
+            # Admission succeeds; the stream will never finish (workers
+            # are stalled), so fire-and-forget the request body.
+            body = json.dumps(
+                {
+                    "csv": str(data_files["nfl"]),
+                    "article_path": str(data_files["nfl_article"]),
+                }
+            ).encode()
+            request = urllib.request.Request(
+                url + "/check",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(TimeoutError):
+                with urllib.request.urlopen(request, timeout=3) as response:
+                    response.read()
+            journal = queue_dir / "queue.journal"
+            assert wait_for(journal.exists)
+            puts = [
+                json.loads(line)
+                for line in journal.read_text().splitlines()
+                if json.loads(line).get("op") == "put"
+            ]
+            assert puts, "jobs journaled before the kill"
+        finally:
+            proc.kill()  # SIGKILL: no drain, no compaction, no cleanup
+            proc.wait(timeout=10)
+
+        # Restart without faults: the journaled jobs must complete.
+        env.pop(ENV_FAULTS)
+        env.pop(ENV_STATE)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--queue-dir", str(queue_dir), "--queue-workers", "2",
+            ],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert f"resumed {len(puts)} journaled job(s)" in banner
+            url = banner.split("listening on ", 1)[1].split()[0]
+            assert wait_for(
+                lambda: get_json(url + "/health")["queue"]["completed"]
+                == len(puts),
+                timeout=30.0,
+            )
+            # Bit-identity across the crash: resubmission is answered
+            # from the resumed executions, matching the one-shot CLI.
+            events = post_check(
+                url,
+                {
+                    "csv": str(data_files["nfl"]),
+                    "article_path": str(data_files["nfl_article"]),
+                },
+            )
+            assert all(
+                e["cached"] for e in events if e["event"] == "claim"
+            )
+            oracle = cli_claims(
+                capsys, data_files["nfl"], data_files["nfl_article"]
+            )
+            assert claims_of(events) == oracle
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
