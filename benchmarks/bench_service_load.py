@@ -13,9 +13,12 @@ port — the deployment shape of ``python -m repro serve`` — and writes
 - ``chaos``: the same workload shape at reduced scale with
   :mod:`repro.faults` armed — workers killed mid-lease (lease-expiry
   recovery), a clean executor failure (nack -> retry), a slow pipeline
-  stage, and a corrupt-cache probe. The soak passes only if, despite the
-  injected failures, every submitted job is acked exactly once: zero
-  lost, zero duplicated.
+  stage, a corrupt-cache probe, a space-budget blowup
+  (``budget.estimate``), and a cost-admission refusal
+  (``admission.cost``). The soak passes only if, despite the injected
+  failures, every *admitted* job is acked exactly once (zero lost, zero
+  duplicated), the one refused document got a structured 413, and the
+  budget blowup degraded verdicts instead of killing a worker.
 
 The regression gate (``benchmarks/check_regression.py``) tracks the two
 ``completion_ratio`` values (acked/submitted — hardware-independent and
@@ -33,6 +36,7 @@ import json
 import os
 import threading
 import time
+import urllib.error
 from pathlib import Path
 
 from bench_service import _claims_of, _env_int, _post_check, _write_article, _write_database_csv
@@ -91,6 +95,21 @@ def _open_loop(url: str, jobs: list[dict], rate: float) -> list[dict]:
         started = time.perf_counter()
         try:
             events = _post_check(url, payload)
+        except urllib.error.HTTPError as error:
+            # A structured admission rejection (413) is an *answered*
+            # request, not a lost stream: record it as such so the
+            # delivery assertion can count it separately.
+            body = error.read()
+            error.close()
+            if error.code == 413:
+                try:
+                    detail = json.loads(body)
+                except ValueError:
+                    detail = {}
+                outcomes[ordinal] = {"rejected": error.code, "detail": detail}
+            else:
+                outcomes[ordinal] = {"error": repr(error)}
+            return
         except Exception as error:  # a lost stream is a failed run
             outcomes[ordinal] = {"error": repr(error)}
             return
@@ -112,10 +131,22 @@ def _open_loop(url: str, jobs: list[dict], rate: float) -> list[dict]:
     return outcomes
 
 
-def _assert_delivery(outcomes: list[dict], claims_per_doc: int) -> int:
-    """Zero lost / zero duplicated, per stream; returns total claims."""
+def _assert_delivery(
+    outcomes: list[dict], claims_per_doc: int, max_rejected: int = 0
+) -> tuple[int, int]:
+    """Zero lost / zero duplicated, per stream.
+
+    Streams the admission layer rejected with a structured 413 are
+    counted (up to ``max_rejected``) rather than treated as lost: a
+    refusal the client can read is the governance contract working, not
+    a delivery failure. Returns ``(total_claims, rejected_streams)``.
+    """
     total = 0
+    rejected = 0
     for ordinal, outcome in enumerate(outcomes):
+        if outcome.get("rejected") == 413:
+            rejected += 1
+            continue
         assert "events" in outcome, (ordinal, outcome.get("error"))
         events = outcome["events"]
         summary = events[-1]
@@ -129,7 +160,8 @@ def _assert_delivery(outcomes: list[dict], claims_per_doc: int) -> int:
         for claim in _claims_of(events):
             assert claim["status"], (ordinal, claim)
         total += len(indexes)
-    return total
+    assert rejected <= max_rejected, (rejected, max_rejected)
+    return total, rejected
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -187,7 +219,8 @@ def test_service_open_loop_load(capsys, tmp_path):
     finally:
         server.shutdown_gracefully()
 
-    total_claims = _assert_delivery(outcomes, claims_per_doc)
+    total_claims, rejected = _assert_delivery(outcomes, claims_per_doc)
+    assert rejected == 0, "no admission faults armed in the load leg"
     queue = stats["queue"]
     submitted = queue["enqueued"]
     assert queue["acked"] == submitted, queue          # zero lost
@@ -240,9 +273,15 @@ def test_service_chaos_soak(capsys, tmp_path):
     (``queue.lease``/``raise`` — no ack, no nack; recovery is lease
     expiry + re-delivery by a respawned worker), one clean executor
     failure (``queue.exec``/``raise`` — nack -> jittered retry), one slow
-    matching stage (``checker.stage``/``sleep``), and one corrupt-cache
+    matching stage (``checker.stage``/``sleep``), one corrupt-cache
     probe (``diskcache.read``/``corrupt`` — a no-op unless the pipeline
-    reads a disk cache, armed to prove the service path tolerates it).
+    reads a disk cache, armed to prove the service path tolerates it),
+    one space-budget blowup (``budget.estimate``/``raise`` — one cube
+    execution reports an over-budget estimate; the checker ladder must
+    degrade that document's verdicts instead of crashing the worker),
+    and one admission rejection (``admission.cost``/``raise`` — one
+    document is refused with a structured 413 before it ever enqueues;
+    the rejection is counted, the other documents still deliver).
     """
     n_databases = _env_int("BENCH_LOAD_CHAOS_DBS", 1)
     docs_per_db = _env_int("BENCH_LOAD_CHAOS_DOCS", 3)
@@ -268,6 +307,8 @@ def test_service_chaos_soak(capsys, tmp_path):
             FaultSpec("checker.stage", "sleep", match="match",
                       seconds=0.3, times=1),
             FaultSpec("diskcache.read", "corrupt", times=1),
+            FaultSpec("budget.estimate", "raise", times=1),
+            FaultSpec("admission.cost", "raise", times=1),
         ):
             wall_started = time.perf_counter()
             outcomes = _open_loop(server.url, jobs, rate)
@@ -276,7 +317,9 @@ def test_service_chaos_soak(capsys, tmp_path):
     finally:
         server.shutdown_gracefully()
 
-    total_claims = _assert_delivery(outcomes, claims_per_doc)
+    total_claims, rejected = _assert_delivery(
+        outcomes, claims_per_doc, max_rejected=1
+    )
     queue = stats["queue"]
     submitted = queue["enqueued"]
     # The acceptance contract of the chaos soak: at-least-once execution
@@ -286,6 +329,21 @@ def test_service_chaos_soak(capsys, tmp_path):
     assert queue["deadlettered"] == 0, queue
     assert stats["workers"]["worker_deaths"] >= 2, stats["workers"]
     assert queue["expired_leases"] >= 1, queue
+    # Resource-governance faults: the admission fault refused exactly one
+    # document with a machine-readable 413 before it enqueued, and the
+    # budget fault degraded (not crashed) at least one delivered claim.
+    assert rejected == 1, [o for o in outcomes if "events" not in o]
+    [refusal] = [o for o in outcomes if o.get("rejected") == 413]
+    assert refusal["detail"].get("reason") == "cost_exceeded", refusal
+    assert stats["admission"]["rejected_cost"] == 1, stats["admission"]
+    degraded_claims = sum(
+        1
+        for outcome in outcomes
+        if "events" in outcome
+        for claim in _claims_of(outcome["events"])
+        if claim.get("degraded")
+    )
+    assert degraded_claims >= 1, "budget fault should degrade one stream"
 
     results = {
         "databases": n_databases,
@@ -299,6 +357,8 @@ def test_service_chaos_soak(capsys, tmp_path):
         "expired_leases": queue["expired_leases"],
         "retried": queue["retried"],
         "deadlettered": queue["deadlettered"],
+        "admission_rejected": rejected,
+        "degraded_claims": degraded_claims,
         "claims_per_sec": round(total_claims / max(wall, 1e-9), 2),
         "wall_seconds": round(wall, 4),
     }
@@ -316,6 +376,8 @@ def test_service_chaos_soak(capsys, tmp_path):
                     ["retries", str(results["retried"])],
                     ["lost", str(submitted - queue["acked"])],
                     ["duplicated", str(queue["duplicate_acks"])],
+                    ["413 refusals", str(rejected)],
+                    ["degraded claims", str(degraded_claims)],
                     ["completion", f"{results['completion_ratio']:.4f}"],
                 ],
             )

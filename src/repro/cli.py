@@ -111,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(reduced scope -> no execution -> unverifiable) instead of "
         "the run hanging",
     )
+    _add_budget_arguments(check)
     check.add_argument(
         "--json", action="store_true", help="emit a JSON report"
     )
@@ -173,12 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
         "worker pool leases, verifies, and acks them with at-least-once "
         "delivery, retries with jittered backoff, and a dead-letter "
         "quarantine. With --queue-dir the queue journal survives crashes: "
-        "a restarted server resumes unfinished jobs. Per-client token "
-        "buckets (--rate-limit) and queue-depth backpressure shed excess "
-        "load with 429 + Retry-After. Checkers stay warm per database "
-        "content fingerprint; verdicts are memoized per claim so "
-        "resubmitting an edited document re-evaluates only changed claims. "
-        "--legacy-server restores the PR-5 thread-per-request front end.",
+        "a restarted server resumes unfinished jobs. "
+        "Resource governance bounds every request in four layers: hostile "
+        "or oversized input (CSV rows/columns/field bytes, inline tables, "
+        "claims per document) is rejected with structured 400s before any "
+        "work happens; --max-request-cost rejects expensive requests at "
+        "admission (413, cost = tables x rows x claims) before they "
+        "queue; per-claim space budgets (--max-rows-materialized, "
+        "--max-cube-cells, --max-candidates) plus --request-timeout "
+        "degrade execution through the reduced-scope -> no-execution -> "
+        "unverifiable ladder instead of exhausting memory mid-query; and "
+        "--max-rss-mb sheds all execution (explicit degraded verdicts, "
+        "queue keeps draining) while process RSS is over the line, "
+        "recovering automatically when pressure subsides. Per-client "
+        "token buckets (--rate-limit) and queue-depth backpressure shed "
+        "excess load with 429 + Retry-After. Checkers stay warm per "
+        "database content fingerprint; verdicts are memoized per claim "
+        "(budget-degraded verdicts never are) so resubmitting an edited "
+        "document re-evaluates only changed claims. --legacy-server "
+        "restores the PR-5 thread-per-request front end.",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -285,6 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-client burst allowance (default: max(1, 2x rate))",
     )
+    _add_budget_arguments(serve)
+    serve.add_argument(
+        "--max-request-cost",
+        type=int,
+        metavar="N",
+        help="admission cost ceiling (tables x rows x claims); costlier "
+        "requests are rejected with 413 + a machine-readable reason "
+        "before they reach the queue (asyncio server only)",
+    )
+    serve.add_argument(
+        "--max-rss-mb",
+        type=float,
+        metavar="MB",
+        help="process RSS watermark; above it all execution sheds to "
+        "explicit degraded verdicts until memory pressure subsides "
+        "(asyncio server only; needs /proc)",
+    )
     serve.add_argument(
         "--legacy-server",
         action="store_true",
@@ -295,6 +326,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
+
+
+def _add_budget_arguments(parser) -> None:
+    """Space-budget flags shared by ``check`` and ``serve``.
+
+    Identical flags feeding identical config fields keep the CLI-vs-service
+    bit-identity guarantee: a request degraded by a budget on the server
+    degrades the same way under ``check`` with the same limits.
+    """
+    parser.add_argument(
+        "--max-rows-materialized",
+        type=int,
+        metavar="N",
+        help="largest joined relation a query or cube may materialize; "
+        "past it, verdicts degrade (reduced scope -> no execution -> "
+        "unverifiable) instead of exhausting memory",
+    )
+    parser.add_argument(
+        "--max-cube-cells",
+        type=int,
+        metavar="N",
+        help="cube group-count ceiling, checked against a cardinality "
+        "estimate BEFORE materialization and against real group counts "
+        "before rollup",
+    )
+    parser.add_argument(
+        "--max-candidates",
+        type=int,
+        metavar="N",
+        help="candidate-query ceiling per claim batch; oversized "
+        "candidate spaces degrade instead of executing",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -324,6 +387,9 @@ def _run_check(args) -> int:
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
         claim_deadline=args.claim_deadline,
+        max_rows_materialized=args.max_rows_materialized,
+        max_cube_cells=args.max_cube_cells,
+        max_candidates=args.max_candidates,
     )
     config = config.with_em(p_true=args.p_true)
     checker = AggChecker(database, config, dictionary)
@@ -455,6 +521,9 @@ def _run_serve(args) -> int:
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
+        max_rows_materialized=args.max_rows_materialized,
+        max_cube_cells=args.max_cube_cells,
+        max_candidates=args.max_candidates,
     ).with_em(p_true=args.p_true)
     tier = "off" if args.no_incremental else "on"
 
@@ -500,6 +569,8 @@ def _run_serve(args) -> int:
         incremental_capacity=args.incremental_capacity,
         max_databases=args.max_databases,
         request_timeout=args.request_timeout,
+        max_request_cost=args.max_request_cost,
+        max_rss_mb=args.max_rss_mb,
         verbose=args.verbose,
     )
 

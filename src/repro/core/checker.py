@@ -18,11 +18,12 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro import faults
+from repro.budget import ResourceBudget
 from repro.core.config import AggCheckerConfig
 from repro.core.verdict import ClaimVerdict, make_verdict, unverifiable_verdict
 from repro.db.engine import EngineStats, QueryEngine
 from repro.deadline import Deadline
-from repro.errors import DeadlineExceeded
+from repro.errors import BudgetExceeded, DeadlineExceeded
 from repro.db.schema import Database
 from repro.fragments.extract import extract_fragments
 from repro.fragments.indexer import FragmentIndex
@@ -245,11 +246,14 @@ class AggChecker:
             )
         try:
             spaces = self._match_and_build(claims, deadline)
-        except DeadlineExceeded:
+        except (DeadlineExceeded, BudgetExceeded) as exhausted:
             # The budget died before inference even had inputs: the last
             # ladder rung reports every claim as unverifiable. The stream
             # (and the corpus run) continues; nothing hangs or errors.
-            self.engine.stats.deadline_unverifiable += len(claims)
+            if isinstance(exhausted, BudgetExceeded):
+                self.engine.stats.budget_unverifiable += len(claims)
+            else:
+                self.engine.stats.deadline_unverifiable += len(claims)
             return self._finish(
                 document,
                 claims,
@@ -300,11 +304,15 @@ class AggChecker:
     ) -> tuple[InferenceResult, str | None]:
         """Inference under the degradation ladder.
 
-        Rung 1 is full inference against ``deadline``. On expiry, rung 2
-        retries with a shrunken per-claim evaluation scope under a fresh
-        grace budget; rung 3 drops query execution entirely (keyword and
+        Rung 1 is full inference against ``deadline`` and the configured
+        space budget. On expiry — deadline or space — rung 2 retries with
+        a shrunken per-claim evaluation scope under a fresh grace budget
+        (a smaller scope means fewer candidates, a smaller literal union,
+        and therefore smaller cube estimates, so space pressure shrinks
+        with it); rung 3 drops query execution entirely (keyword and
         prior evidence only — cheap and bounded by construction, so it
-        cannot time out). Every rung still yields a verdict per claim.
+        can exceed neither time nor space). Every rung still yields a
+        verdict per claim.
         """
         faults.fire("checker.stage", "inference")
         em = self.config.em
@@ -312,6 +320,8 @@ class AggChecker:
             return self._infer(spaces, em, deadline, "full"), None
         except DeadlineExceeded:
             self.engine.stats.deadline_degraded += 1
+        except BudgetExceeded:
+            self.engine.stats.budget_degraded += 1
         budget = em.scope.max_evaluations_per_claim
         shrunken = replace(
             em,
@@ -330,6 +340,8 @@ class AggChecker:
             return self._infer(spaces, shrunken, grace, "scope"), "scope"
         except DeadlineExceeded:
             self.engine.stats.deadline_exec_skipped += 1
+        except BudgetExceeded:
+            self.engine.stats.budget_exec_skipped += 1
         no_exec = replace(em, max_iterations=1, use_evaluations=False)
         return self._infer(spaces, no_exec, None, "no_exec"), "no_exec"
 
@@ -344,14 +356,37 @@ class AggChecker:
         if deadline is not None:
             deadline.check("inference")
         # The engine checks the deadline right before every physical cube
-        # or query execution — the unbounded work inside an EM iteration.
+        # or query execution — the unbounded work inside an EM iteration —
+        # and the space budget right before every materialization.
         self.engine.deadline = deadline
+        self.engine.budget = self._budget_for(deadline)
         try:
             return query_and_learn(
                 spaces, self.catalog, self.engine, em_config, deadline
             )
         finally:
             self.engine.deadline = None
+            self.engine.budget = None
+
+    def _budget_for(self, deadline: Deadline | None) -> ResourceBudget | None:
+        """The config's space limits wrapped around the active deadline.
+
+        None when no space limit is configured: the engine then skips all
+        budget guards (deadline checks still run off ``engine.deadline``).
+        """
+        config = self.config
+        if (
+            config.max_rows_materialized is None
+            and config.max_cube_cells is None
+            and config.max_candidates is None
+        ):
+            return None
+        return ResourceBudget(
+            deadline=deadline,
+            max_rows=config.max_rows_materialized,
+            max_cube_cells=config.max_cube_cells,
+            max_candidates=config.max_candidates,
+        )
 
     @staticmethod
     def _grace(deadline: Deadline | None) -> Deadline | None:

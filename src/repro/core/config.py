@@ -60,6 +60,18 @@ class AggCheckerConfig:
     #: then report claims unverifiable — instead of hanging (see
     #: ARCHITECTURE.md, "Failure domains & degradation ladder").
     claim_deadline: float | None = None
+    #: Space budget: maximum rows a materialized relation (join result)
+    #: may hold before the engine executes over it (None = unlimited).
+    #: Exceeding it walks the same degradation ladder as deadline expiry.
+    max_rows_materialized: int | None = None
+    #: Space budget: maximum *estimated* rolled-up cube cells. The engine
+    #: bounds a cube's result as prod(|literals_d| + 2) over its
+    #: dimensions and refuses to execute cubes over the limit (None =
+    #: unlimited).
+    max_cube_cells: int | None = None
+    #: Space budget: maximum candidate (query, claim) pairs evaluated for
+    #: one claim's candidate space (None = unlimited).
+    max_candidates: int | None = None
 
     def with_em(self, **changes) -> "AggCheckerConfig":
         return replace(self, em=replace(self.em, **changes))

@@ -743,19 +743,23 @@ def _column_stats_python(
     return stats
 
 
-def execute_cube_columnar(relation: ColumnarRelation, cube):
+def execute_cube_columnar(relation: ColumnarRelation, cube, budget=None):
     """Vectorized twin of the row-wise ``_cube_over_relation``.
 
     Phase 1 reduces every basis aggregate per fully-specified group with
     array kernels; phase 2 rolls the (few) groups up to every dimension
     subset in Python; phase 3 finalizes into the standard
-    :class:`~repro.db.cube.CubeResult` cell dictionary.
+    :class:`~repro.db.cube.CubeResult` cell dictionary. ``budget``
+    (optional :class:`repro.budget.ResourceBudget`) bounds the rollup
+    work — ``n_groups * 2^n_dims`` merges — before phase 2 starts, using
+    the real group count rather than the engine's literal-based estimate.
     """
     from repro.db.aggregates import AggregateFunction
-    from repro.db.cube import ALL, CubeResult
+    from repro.db.cube import ALL, CubeResult, _check_rollup_budget
 
     inverse, group_keys = _group_rows(relation, cube)
     n_groups = len(group_keys)
+    _check_rollup_budget(budget, n_groups, len(cube.dimensions))
 
     # One stat bundle per distinct aggregation column ('*' columns share one).
     bundle_keys: list[ColumnRef | None] = []

@@ -4,12 +4,20 @@ The paper's data sets are mostly ``.csv`` files; the authors removed stray
 free-text comment lines but otherwise used the raw data (Appendix B). We
 mirror that: a tolerant reader that skips blank/comment lines, infers column
 types, and converts numeric-looking cells.
+
+Inputs are not trusted: the service layer feeds inline tables straight
+from client requests through :func:`load_csv_text`, so the reader bounds
+rows, columns, and field size (:class:`CsvLimits`) and converts *every*
+malformed-input failure into :class:`~repro.errors.CsvFormatError` with a
+machine-readable ``reason`` — hostile CSV yields a structured error, not
+a traceback or an OOM.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.db.schema import Column, ColumnType, Table, infer_column_type
@@ -17,23 +25,65 @@ from repro.db.values import Value, coerce_number, is_missing
 from repro.errors import CsvFormatError
 
 
-def load_csv(path: str | Path, table_name: str | None = None) -> Table:
+@dataclass(frozen=True)
+class CsvLimits:
+    """Hard bounds on one CSV source (header row included).
+
+    The defaults are generous safety nets sized for the paper's corpora;
+    the service layer passes tighter limits for untrusted inline tables.
+    """
+
+    max_rows: int = 1_000_000
+    max_columns: int = 1_000
+    max_field_bytes: int = 131_072
+
+    def __post_init__(self) -> None:
+        for name in ("max_rows", "max_columns", "max_field_bytes"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+#: Library-wide default bounds (see :class:`CsvLimits`).
+DEFAULT_CSV_LIMITS = CsvLimits()
+
+
+def load_csv(
+    path: str | Path,
+    table_name: str | None = None,
+    limits: CsvLimits = DEFAULT_CSV_LIMITS,
+) -> Table:
     """Load a CSV file into a :class:`Table`, inferring column types."""
     path = Path(path)
     name = table_name or path.stem.lower().replace("-", "_").replace(" ", "_")
     try:
         text = path.read_text(encoding="utf-8-sig")
     except OSError as exc:
-        raise CsvFormatError(f"cannot read {path}: {exc}") from exc
-    return load_csv_text(text, name)
+        # reason "unreadable_file" marks an environment problem (the
+        # service maps it to 422), not malformed client content (400).
+        raise CsvFormatError(
+            f"cannot read {path}: {exc}", reason="unreadable_file"
+        ) from exc
+    return load_csv_text(text, name, limits)
 
 
-def load_csv_text(text: str, table_name: str) -> Table:
-    """Load CSV content from a string (used by the corpus and tests)."""
-    rows = _read_rows(text, table_name)
+def load_csv_text(
+    text: str,
+    table_name: str,
+    limits: CsvLimits = DEFAULT_CSV_LIMITS,
+) -> Table:
+    """Load CSV content from a string (used by the corpus, service, tests)."""
+    rows = _read_rows(text, table_name, limits)
     if not rows:
         raise CsvFormatError(f"table {table_name!r}: no header row found")
     header = [_clean_header(cell, i) for i, cell in enumerate(rows[0])]
+    if len(set(header)) != len(header):
+        # Table() would reject this as a SchemaError; hostile input must
+        # stay inside the CsvFormatError contract.
+        raise CsvFormatError(
+            f"table {table_name!r}: duplicate column names in header",
+            reason="duplicate_columns",
+        )
     width = len(header)
     body: list[list[Value]] = []
     for raw in rows[1:]:
@@ -52,19 +102,57 @@ def load_csv_text(text: str, table_name: str) -> Table:
     return Table(table_name, columns, typed_body)
 
 
-def _read_rows(text: str, table_name: str) -> list[list[str]]:
+def _read_rows(
+    text: str, table_name: str, limits: CsvLimits
+) -> list[list[str]]:
     lines = []
     for line in text.splitlines():
         if line.lstrip().startswith("#"):
             continue
         lines.append(line)
     if not lines:
-        raise CsvFormatError(f"table {table_name!r}: empty CSV input")
+        raise CsvFormatError(
+            f"table {table_name!r}: empty CSV input", reason="empty_input"
+        )
     reader = csv.reader(io.StringIO("\n".join(lines)))
+    rows: list[list[str]] = []
+    # The quick length test makes the exact byte count a cold path: a
+    # UTF-8 character is at most 4 bytes, so short fields never encode.
+    quick_field_chars = limits.max_field_bytes // 4
     try:
-        return [row for row in reader if row]
+        for row in reader:
+            if not row:
+                continue
+            if len(row) > limits.max_columns:
+                raise CsvFormatError(
+                    f"table {table_name!r}: row {len(rows) + 1} has "
+                    f"{len(row)} fields, over the limit of "
+                    f"{limits.max_columns}",
+                    reason="too_many_columns",
+                )
+            for cell in row:
+                if (
+                    len(cell) > quick_field_chars
+                    and len(cell.encode("utf-8")) > limits.max_field_bytes
+                ):
+                    raise CsvFormatError(
+                        f"table {table_name!r}: row {len(rows) + 1} has a "
+                        f"field over the limit of "
+                        f"{limits.max_field_bytes} bytes",
+                        reason="field_too_large",
+                    )
+            rows.append(row)
+            if len(rows) > limits.max_rows + 1:  # header + data rows
+                raise CsvFormatError(
+                    f"table {table_name!r}: over the limit of "
+                    f"{limits.max_rows} data rows",
+                    reason="too_many_rows",
+                )
     except csv.Error as exc:
+        # Includes fields over csv.field_size_limit (131072 chars) and
+        # structurally broken quoting: never let _csv.Error escape.
         raise CsvFormatError(f"table {table_name!r}: {exc}") from exc
+    return rows
 
 
 def _clean_header(cell: str, index: int) -> str:

@@ -218,21 +218,35 @@ def execute_cube(
     database: Database,
     cube: CubeQuery,
     join_graph: JoinGraph | None = None,
+    budget=None,
 ) -> CubeResult:
-    """Execute a cube query against the (joined) base relation."""
+    """Execute a cube query against the (joined) base relation.
+
+    ``budget`` (a :class:`repro.budget.ResourceBudget` or None) bounds the
+    rollup: after grouping, the actual rollup work is
+    ``n_groups * 2^n_dims`` merges, checked against ``max_cube_cells``
+    before phase 2 runs — defense in depth behind the engine's predictive
+    estimate, using real group counts instead of literal cardinalities.
+    """
     graph = join_graph or JoinGraph(database)
     if cube.tables:
         relation = graph.relation(cube.tables)
     else:
         relation = graph.relation({database.single_table().name})
-    return _cube_over_relation(relation, cube)
+    return _cube_over_relation(relation, cube, budget)
+
+
+def _check_rollup_budget(budget, n_groups: int, n_dims: int) -> None:
+    """Refuse rollups whose (group, mask) merge count crosses the budget."""
+    if budget is not None:
+        budget.check_cube(n_groups * (1 << n_dims), "cube-rollup")
 
 
 def _cube_over_relation(
-    relation: Relation | ColumnarRelation, cube: CubeQuery
+    relation: Relation | ColumnarRelation, cube: CubeQuery, budget=None
 ) -> CubeResult:
     if isinstance(relation, ColumnarRelation):
-        return execute_cube_columnar(relation, cube)
+        return execute_cube_columnar(relation, cube, budget)
     dim_indexes = [relation.column_index(dim) for dim in cube.dimensions]
     literal_sets = [set(literals) for _, literals in cube.literals]
     agg_columns: list[tuple[AggregateSpec, int | None]] = []
@@ -260,6 +274,7 @@ def _cube_over_relation(
 
     # Phase 2: roll up to every subset of dimensions.
     n_dims = len(cube.dimensions)
+    _check_rollup_budget(budget, len(groups), n_dims)
     rolled: dict[CellKey, list[_Partial]] = {}
     masks: list[tuple[int, ...]] = []
     for size in range(n_dims + 1):

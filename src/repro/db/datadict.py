@@ -65,7 +65,14 @@ def _looks_like_csv(text: str) -> bool:
 
 def _parse_csv(text: str) -> dict[str, str]:
     reader = csv.reader(io.StringIO(text))
-    rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    try:
+        rows = [
+            row for row in reader if row and any(cell.strip() for cell in row)
+        ]
+    except csv.Error as exc:
+        # Fields over csv.field_size_limit or broken quoting: surface the
+        # structured error, never a raw _csv.Error traceback.
+        raise DataDictionaryError(f"data dictionary: {exc}") from exc
     if not rows:
         raise DataDictionaryError("data dictionary has no rows")
     start = 0

@@ -18,6 +18,8 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
+from repro import faults
+from repro.budget import estimate_cube_cells
 from repro.db.aggregates import AggregateFunction, ratio_value
 from repro.db.cache import CacheEntry, ResultCache
 from repro.db.columnar import ExecutionBackend
@@ -38,8 +40,10 @@ from repro.db.joins import JoinGraph
 from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
 from repro.db.schema import Database
 from repro.db.values import Value
+from repro.errors import BudgetExceeded, InjectedFault
 
 if TYPE_CHECKING:  # runtime import would be circular via repro.db.cache users
+    from repro.budget import ResourceBudget
     from repro.db.diskcache import DiskCubeCache
     from repro.deadline import Deadline
 
@@ -107,6 +111,19 @@ class EngineStats:
     #: Claims reported as unverifiable because the deadline expired
     #: before inference could run at all (rung 4).
     deadline_unverifiable: int = 0
+    #: Space-budget refusals in the engine: estimated cube cells, join
+    #: rows, or candidate counts crossed a limit and the execution was
+    #: refused *before* materializing (see :mod:`repro.budget`).
+    budget_rejections: int = 0
+    #: Documents whose inference fell back to a shrunken evaluation scope
+    #: after a space budget was exceeded (same ladder rung 2 as deadline).
+    budget_degraded: int = 0
+    #: Documents whose inference skipped query execution entirely after
+    #: even the shrunken scope exceeded a space budget (rung 3).
+    budget_exec_skipped: int = 0
+    #: Claims reported as unverifiable because a space budget was
+    #: exceeded before inference could run at all (rung 4).
+    budget_unverifiable: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -188,6 +205,12 @@ class QueryEngine:
         #: execution — the expensive, unbounded work. The checker installs
         #: it around inference and clears it in a ``finally``.
         self.deadline: "Deadline | None" = None
+        #: Cooperative space budget (see :mod:`repro.budget`): when set,
+        #: the engine refuses to materialize joins, cubes, or candidate
+        #: spaces whose estimated size crosses a limit, raising
+        #: :class:`~repro.errors.BudgetExceeded` for the checker's
+        #: degradation ladder. Installed/cleared alongside ``deadline``.
+        self.budget: "ResourceBudget | None" = None
         # Disk-cache corrupt counter seen at construction: the cache
         # object may be shared, so this engine mirrors only *new*
         # corruption into its own EngineStats.
@@ -268,6 +291,7 @@ class QueryEngine:
         self.stats.queries_requested += total
         if not active:
             return
+        self._check_candidates_budget(total)
 
         if self.mode is ExecutionMode.NAIVE:
             self._evaluate_spaces_naive(active)
@@ -371,7 +395,12 @@ class QueryEngine:
             )
             for request, positions, encoding in group_slices:
                 answer_candidates(
-                    request.results, request.space, positions, ordered_dims, entries
+                    request.results,
+                    request.space,
+                    positions,
+                    ordered_dims,
+                    entries,
+                    budget=self.budget,
                 )
                 self.stats.gathered_candidates += len(positions)
 
@@ -382,11 +411,12 @@ class QueryEngine:
     def _execute_naive(self, query: SimpleAggregateQuery) -> Value:
         if self.deadline is not None:
             self.deadline.check("query-exec")
+        tables = self._query_tables(query)
+        self._check_relation_budget(tables, "query-exec")
         start = time.perf_counter()
         result = execute_query(self.database, query, self.join_graph)
         self.stats.query_seconds += time.perf_counter() - start
         self.stats.physical_queries += 1
-        tables = self._query_tables(query)
         self.stats.rows_scanned += len(self.join_graph.relation(tables))
         return result
 
@@ -543,6 +573,8 @@ class QueryEngine:
         if missing:
             if self.deadline is not None:
                 self.deadline.check("cube-exec")
+            self._check_cube_budget(tables, dims, literal_map)
+            self._check_relation_budget(tables, "cube-exec")
             cube = CubeQuery(
                 tables=tables,
                 dimensions=dims,
@@ -550,7 +582,9 @@ class QueryEngine:
                 aggregates=tuple(missing),
             )
             start = time.perf_counter()
-            result = execute_cube(self.database, cube, self.join_graph)
+            result = execute_cube(
+                self.database, cube, self.join_graph, budget=self.budget
+            )
             self.stats.query_seconds += time.perf_counter() - start
             self.stats.cube_queries += 1
             self.stats.physical_queries += 1
@@ -571,6 +605,72 @@ class QueryEngine:
                     )
             self._sync_disk_corrupt()
         return entries
+
+    # ------------------------------------------------------------------
+    # Resource-budget guards (see repro.budget)
+    # ------------------------------------------------------------------
+
+    def _check_candidates_budget(self, total: int) -> None:
+        """Refuse candidate spaces larger than the installed budget."""
+        if self.budget is None:
+            return
+        try:
+            self.budget.check_candidates(total, "candidates")
+        except BudgetExceeded:
+            self.stats.budget_rejections += 1
+            raise
+
+    def _check_cube_budget(
+        self,
+        tables: frozenset[str],
+        dims: tuple[ColumnRef, ...],
+        literal_map: dict[ColumnRef, frozenset[str]],
+    ) -> None:
+        """Refuse cubes whose *estimated* rolled-up size crosses the budget.
+
+        The estimate (product of per-dimension literal cardinalities + 2,
+        see :func:`repro.budget.estimate_cube_cells`) is computed before a
+        single row is touched, so an intractable cube is never built. The
+        ``budget.estimate`` fire point lets the chaos harness simulate an
+        over-budget estimate without constructing a hostile database.
+        """
+        estimate = estimate_cube_cells(dims, literal_map)
+        try:
+            faults.fire(
+                "budget.estimate", ",".join(sorted(tables)), estimate
+            )
+        except InjectedFault as fault:
+            self.stats.budget_rejections += 1
+            raise BudgetExceeded(
+                "cube_cells", "cube-exec", 0, estimate
+            ) from fault
+        if self.budget is None:
+            return
+        try:
+            self.budget.check_cube(estimate, "cube-exec")
+        except BudgetExceeded:
+            self.stats.budget_rejections += 1
+            raise
+
+    def _check_relation_budget(
+        self, tables: frozenset[str], stage: str
+    ) -> None:
+        """Bound the materialized join backing a query or cube.
+
+        Join results are memoized per table set, so counting rows here is
+        at worst the one materialization the engine was about to do
+        anyway; FK-tree joins cannot exceed the fact-table row count, so
+        the check also bounds every later scan over the relation.
+        """
+        if self.budget is None or self.budget.max_rows is None:
+            return
+        try:
+            self.budget.check_rows(
+                len(self.join_graph.relation(tables)), stage
+            )
+        except BudgetExceeded:
+            self.stats.budget_rejections += 1
+            raise
 
     def _sync_disk_corrupt(self) -> None:
         """Mirror newly-quarantined disk-cache entries into EngineStats."""

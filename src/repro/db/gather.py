@@ -216,14 +216,20 @@ def answer_candidates(
     positions: Any,
     dims: "tuple[ColumnRef, ...]",
     entries: "dict[AggregateSpec, CacheEntry]",
+    budget=None,
 ) -> None:
     """Answer every candidate at ``positions`` from cached cube cells.
 
     ``positions`` index into ``space``; all of them share one base
     relation and one covering dimension set, whose cells (one
     :class:`~repro.db.cache.CacheEntry` per basis aggregate) are in
-    ``entries``. Writes value ids into ``results`` in place.
+    ``entries``. Writes value ids into ``results`` in place. ``budget``
+    (optional :class:`repro.budget.ResourceBudget`) re-checks the
+    candidate limit for callers that gather without going through
+    ``QueryEngine.evaluate_spaces`` (which already bounds the batch).
     """
+    if budget is not None:
+        budget.check_candidates(len(positions), "gather")
     if _np is not None:
         _answer_numpy(results, space, positions, dims, entries)
     else:

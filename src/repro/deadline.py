@@ -11,6 +11,11 @@ ARCHITECTURE.md, "Failure domains & degradation ladder").
 A ``Deadline`` is cheap to check (one ``perf_counter`` read) and carries
 its own start time, so nested consumers (engine inside EM inside the
 checker) all count against one shared budget.
+
+Deadlines govern *time* only. :class:`repro.budget.ResourceBudget` wraps
+a deadline together with space limits (max rows materialized, max cube
+cells, max candidates) and is what the checker installs on the engine;
+``Deadline`` remains the standalone wall-clock primitive.
 """
 
 from __future__ import annotations

@@ -50,7 +50,16 @@ class SqlParseError(QueryError):
 
 
 class CsvFormatError(ReproError):
-    """A CSV source could not be loaded into a table."""
+    """A CSV source could not be loaded into a table.
+
+    ``reason`` is a stable machine-readable code (``csv_format``,
+    ``too_many_rows``, ``too_many_columns``, ``field_too_large``, ...)
+    that the service layer surfaces in structured 400 responses.
+    """
+
+    def __init__(self, message: str, reason: str = "csv_format") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class DataDictionaryError(ReproError):
@@ -86,6 +95,47 @@ class DeadlineExceeded(ReproError):
         )
         self.stage = stage
         self.budget_seconds = budget_seconds
+
+
+class BudgetExceeded(ReproError):
+    """A space budget would be exceeded at a pipeline stage boundary.
+
+    Unlike :class:`DeadlineExceeded` (which fires *after* time is spent),
+    this fires *before* materialization: the engine estimates the size of
+    a cube result, join, or candidate space and refuses to build it when
+    the estimate crosses the configured limit. The checker catches this
+    to walk the same degradation ladder as deadline expiry.
+    """
+
+    def __init__(
+        self, kind: str, stage: str, limit: int, estimate: int
+    ) -> None:
+        super().__init__(
+            f"{kind} budget of {limit} exceeded at stage {stage!r} "
+            f"(estimated {estimate})"
+        )
+        self.kind = kind
+        self.stage = stage
+        self.limit = limit
+        self.estimate = estimate
+
+
+class AdmissionRejectedError(ReproError):
+    """A request's estimated cost exceeds the admission limit (HTTP 413).
+
+    Raised by the queue service *before* work reaches the durable queue:
+    cost = tables x rows x claims, a deliberately coarse upper bound on
+    the work a request can demand. Carries the machine-readable pieces
+    the HTTP front end surfaces in its JSON error body.
+    """
+
+    def __init__(self, cost: int, max_cost: int) -> None:
+        super().__init__(
+            f"estimated request cost {cost} exceeds admission limit "
+            f"{max_cost}"
+        )
+        self.cost = cost
+        self.max_cost = max_cost
 
 
 class InjectedFault(ReproError):

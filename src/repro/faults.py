@@ -25,7 +25,17 @@ Fire points (``fire(point, key, payload)`` is a no-op unless armed):
   outside the nack handler (``raise`` simulates a worker dying mid-job:
   no ack, no nack — recovery is lease expiry + re-delivery);
 - ``queue.exec``      — key = job group id, inside the execution handler
-  (``raise`` exercises the clean nack -> retry -> dead-letter path).
+  (``raise`` exercises the clean nack -> retry -> dead-letter path);
+- ``budget.estimate`` — key = sorted table names of the cube, payload =
+  estimated cell count, fired where the engine sizes a cube *before*
+  materializing it (``raise`` is translated into
+  :class:`~repro.errors.BudgetExceeded`, driving the space-budget
+  degradation ladder without needing a hostile database);
+- ``admission.cost``  — key = client id, payload = computed request
+  cost, fired during cost-based admission in the async front end
+  (``raise`` is translated into
+  :class:`~repro.errors.AdmissionRejectedError` — a structured 413 —
+  exercising the rejection path under normal load).
 
 Actions: ``kill`` (``os._exit``, simulating SIGKILL/OOM), ``raise``
 (:class:`~repro.errors.InjectedFault`), ``sleep`` (consume ``seconds`` of

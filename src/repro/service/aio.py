@@ -41,10 +41,19 @@ import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.core.checker import claim_fingerprint
 from repro.core.config import AggCheckerConfig
-from repro.errors import QueueFullError, RateLimitedError, ReproError
+from repro.errors import (
+    AdmissionRejectedError,
+    CsvFormatError,
+    InjectedFault,
+    QueueFullError,
+    RateLimitedError,
+    ReproError,
+)
 from repro.harness.parallel import RetryPolicy
+from repro.service.memwatch import MemoryWatchdog, read_rss_mb
 from repro.service.protocol import (
     CheckRequest,
     ProtocolError,
@@ -119,6 +128,9 @@ class QueueService:
         request_timeout: float | None = None,
         stream_timeout: float | None = None,
         fsync: bool = False,
+        max_request_cost: int | None = None,
+        max_rss_mb: float | None = None,
+        rss_interval: float = 1.0,
     ) -> None:
         self.service = VerificationService(
             config,
@@ -129,7 +141,14 @@ class QueueService:
         )
         retry = retry or RetryPolicy()
         self.queue = DurableJobQueue(
-            queue_dir, capacity=queue_capacity, retry=retry, fsync=fsync
+            queue_dir,
+            capacity=queue_capacity,
+            retry=retry,
+            fsync=fsync,
+            # Degraded verdicts (exhausted budget, open breaker) must not
+            # be pinned by queue idempotency: resubmission re-executes,
+            # exactly as the incremental tier refuses to memoize them.
+            reusable_result=lambda payload: not payload.get("degraded"),
         )
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
         self.executor = GroupExecutor(
@@ -142,6 +161,20 @@ class QueueService:
             visibility_timeout=visibility_timeout,
         )
         self.limiter = ClientRateLimiter(rate_limit, rate_burst)
+        #: Cost-based admission: reject requests whose estimated cost
+        #: (tables x rows x claims — a coarse upper bound on demanded
+        #: work) exceeds this, with 413 + machine-readable reason,
+        #: *before* anything reaches the queue. None disables the check.
+        self.max_request_cost = max_request_cost
+        self.rejected_cost = 0
+        #: Memory-pressure shedding: a stdlib-only RSS sampler that holds
+        #: the circuit breaker open while the process is over
+        #: ``max_rss_mb``, so execution degrades instead of OOMing.
+        self.memwatch = (
+            MemoryWatchdog(self.breaker, max_rss_mb, rss_interval)
+            if max_rss_mb is not None
+            else None
+        )
         if stream_timeout is None:
             # Worst case before a job must have resolved: every attempt
             # times out its lease, plus scheduling slack.
@@ -157,6 +190,8 @@ class QueueService:
     def start(self) -> None:
         """Start the worker pool (journal-resumed jobs begin immediately)."""
         self.workers.start()
+        if self.memwatch is not None:
+            self.memwatch.start()
 
     # ------------------------------------------------------------------
     # Admission
@@ -182,6 +217,7 @@ class QueueService:
             raise RateLimitedError(client, retry_after)
         started = time.perf_counter()
         prepared = self.service.prepare(request)
+        self._check_admission_cost(prepared, client)
         use_cache = self.service.incremental_enabled and request.incremental
         claims = prepared.claims
 
@@ -275,6 +311,38 @@ class QueueService:
         )
         return admission
 
+    def _check_admission_cost(self, prepared, client: str) -> None:
+        """Reject oversized work before it reaches the queue.
+
+        Cost = tables x rows x claims: deliberately coarse — it needs no
+        cube estimation, only already-loaded metadata — and a true
+        multiplier of the work one request can demand (each claim fans
+        out candidate queries over the joined tables). The
+        ``admission.cost`` fire point lets the chaos harness drive the
+        rejection path without constructing an oversized request.
+        """
+        checker = prepared.entry.checker
+        database = checker.database if checker is not None else None
+        n_tables = len(database.tables) if database is not None else 1
+        n_rows = (
+            sum(len(table.rows) for table in database.tables)
+            if database is not None
+            else 0
+        )
+        cost = max(1, n_tables) * max(1, n_rows) * max(1, len(prepared.claims))
+        try:
+            faults.fire("admission.cost", client, cost)
+        except InjectedFault as fault:
+            # An armed fault at the cost check simulates an oversized
+            # request: same structured 413 path, zero queue impact.
+            self.rejected_cost += 1
+            self.service.note_rejected()
+            raise AdmissionRejectedError(cost, 0) from fault
+        if self.max_request_cost is not None and cost > self.max_request_cost:
+            self.rejected_cost += 1
+            self.service.note_rejected()
+            raise AdmissionRejectedError(cost, self.max_request_cost)
+
     # ------------------------------------------------------------------
     # Introspection / shutdown
 
@@ -285,6 +353,11 @@ class QueueService:
         payload["workers"] = self.workers.stats()
         payload["breaker"] = self.breaker.stats()
         payload["rate_limiter"] = self.limiter.stats()
+        payload["memory"] = self._memory_stats()
+        payload["admission"] = {
+            "max_request_cost": self.max_request_cost,
+            "rejected_cost": self.rejected_cost,
+        }
         payload["draining"] = self.draining
         if self.draining:
             payload["status"] = "draining"
@@ -303,8 +376,23 @@ class QueueService:
         payload["workers"] = self.workers.stats()
         payload["breaker"] = self.breaker.stats()
         payload["rate_limiter"] = self.limiter.stats()
+        payload["memory"] = self._memory_stats()
+        payload["admission"] = {
+            "max_request_cost": self.max_request_cost,
+            "rejected_cost": self.rejected_cost,
+        }
         payload["draining"] = self.draining
         return payload
+
+    def _memory_stats(self) -> dict:
+        if self.memwatch is not None:
+            return self.memwatch.stats()
+        rss = read_rss_mb()
+        return {
+            "rss_mb": round(rss, 1) if rss is not None else None,
+            "max_rss_mb": None,
+            "shedding": False,
+        }
 
     def deadletter(self) -> list[dict]:
         return self.queue.deadletter()
@@ -319,6 +407,8 @@ class QueueService:
             if self._drained:
                 return self.journaled_on_drain
             self.draining = True
+            if self.memwatch is not None:
+                self.memwatch.stop()
             journaled = self.queue.drain(timeout)
             self.workers.stop()
             self.queue.close()
@@ -562,10 +652,18 @@ class AsyncVerificationServer:
         body = await reader.readexactly(length)
         try:
             payload = json.loads(body)
-        except json.JSONDecodeError as error:
+        except ValueError as error:
+            # ValueError covers JSONDecodeError AND UnicodeDecodeError:
+            # raw binary garbage must get the same structured 400 as
+            # syntactically broken JSON, not an unhandled traceback.
             base.note_error()
             await self._send_json(
-                writer, 400, {"error": f"invalid JSON body: {error}"}
+                writer,
+                400,
+                {
+                    "error": f"invalid JSON body: {error}",
+                    "reason": "invalid_json",
+                },
             )
             return
 
@@ -594,16 +692,49 @@ class AsyncVerificationServer:
             )
         except (RateLimitedError, QueueFullError) as error:
             retry_after = max(1, math.ceil(error.retry_after_seconds))
+            reason = (
+                "rate_limited"
+                if isinstance(error, RateLimitedError)
+                else "queue_full"
+            )
             await self._send_json(
                 writer,
                 429,
-                {"error": str(error), "retry_after": retry_after},
+                {
+                    "error": str(error),
+                    "reason": reason,
+                    "retry_after": retry_after,
+                },
                 extra_headers=[f"Retry-After: {retry_after}"],
+            )
+            return
+        except AdmissionRejectedError as error:
+            await self._send_json(
+                writer,
+                413,
+                {
+                    "error": str(error),
+                    "reason": "cost_exceeded",
+                    "cost": error.cost,
+                    "max_cost": error.max_cost,
+                },
             )
             return
         except ProtocolError as error:
             base.note_error()
-            await self._send_json(writer, 400, {"error": str(error)})
+            await self._send_json(
+                writer, 400, {"error": str(error), "reason": error.reason}
+            )
+            return
+        except CsvFormatError as error:
+            # Hostile or malformed client data: structured 400, not 422.
+            # An unreadable server-side file is the environment's fault,
+            # not the request's: that one stays a 422.
+            base.note_error()
+            status = 422 if error.reason == "unreadable_file" else 400
+            await self._send_json(
+                writer, status, {"error": str(error), "reason": error.reason}
+            )
             return
         except (ReproError, OSError) as error:
             base.note_error()
@@ -741,6 +872,9 @@ def create_async_server(
     request_timeout: float | None = None,
     stream_timeout: float | None = None,
     fsync: bool = False,
+    max_request_cost: int | None = None,
+    max_rss_mb: float | None = None,
+    rss_interval: float = 1.0,
     verbose: bool = False,
 ) -> AsyncVerificationServer:
     """Build an :class:`AsyncVerificationServer` (port 0 picks a free port)."""
@@ -761,5 +895,8 @@ def create_async_server(
         request_timeout=request_timeout,
         stream_timeout=stream_timeout,
         fsync=fsync,
+        max_request_cost=max_request_cost,
+        max_rss_mb=max_rss_mb,
+        rss_interval=rss_interval,
     )
     return AsyncVerificationServer(service, host=host, port=port, verbose=verbose)

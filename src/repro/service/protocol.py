@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.verdict import ClaimVerdict
-from repro.db.csvio import load_csv, load_csv_text
+from repro.db.csvio import CsvLimits, load_csv, load_csv_text
 from repro.db.datadict import load_data_dictionary, parse_data_dictionary
 from repro.db.schema import Database, Table
 from repro.db.sql import render_sql
@@ -54,7 +54,42 @@ from repro.text.htmlparse import parse_html
 
 
 class ProtocolError(ReproError):
-    """Malformed service request (maps to HTTP 400)."""
+    """Malformed service request (maps to HTTP 400).
+
+    ``reason`` is a stable machine-readable code surfaced alongside the
+    human-readable message in error bodies.
+    """
+
+    def __init__(self, message: str, reason: str = "bad_request") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+#: Bounds on inline tables from untrusted clients — tighter than the
+#: library-wide :data:`repro.db.csvio.DEFAULT_CSV_LIMITS`, which governs
+#: operator-provided server-side files.
+SERVICE_CSV_LIMITS = CsvLimits(
+    max_rows=250_000, max_columns=256, max_field_bytes=65_536
+)
+
+#: Maximum inline tables per request (each one is hashed, typed, and
+#: indexed; an attacker must not get unbounded work from one body).
+MAX_INLINE_TABLES = 32
+
+#: Maximum detected claims per document. Claims are verified jointly and
+#: each claim fans out into a candidate space, so claim count is the
+#: document-side cost multiplier.
+MAX_CLAIMS_PER_DOCUMENT = 256
+
+
+def enforce_claim_limit(n_claims: int) -> None:
+    """Reject documents with more claims than the service will verify."""
+    if n_claims > MAX_CLAIMS_PER_DOCUMENT:
+        raise ProtocolError(
+            f"document has {n_claims} claims, over the limit of "
+            f"{MAX_CLAIMS_PER_DOCUMENT}",
+            reason="too_many_claims",
+        )
 
 
 #: Accepted POST /check body keys. Exactly these — aliases and dataclass
@@ -115,6 +150,12 @@ class CheckRequest:
             for k, v in raw_tables.items()
         ):
             raise ProtocolError("'tables' must map table names to CSV text")
+        if len(raw_tables) > MAX_INLINE_TABLES:
+            raise ProtocolError(
+                f"request has {len(raw_tables)} inline tables, over the "
+                f"limit of {MAX_INLINE_TABLES}",
+                reason="too_many_tables",
+            )
         inline_tables = tuple(sorted(raw_tables.items()))
 
         database = _optional_str(payload, "database")
@@ -161,10 +202,16 @@ class CheckRequest:
         )
 
     def load_database(self) -> Database:
-        """Materialize the referenced tables into a Database."""
+        """Materialize the referenced tables into a Database.
+
+        Server-side ``csv`` paths are operator-provided and load under
+        the library defaults; inline tables come from the client and are
+        bounded by :data:`SERVICE_CSV_LIMITS`.
+        """
         tables: list[Table] = [load_csv(path) for path in self.csv_paths]
         tables.extend(
-            load_csv_text(text, name) for name, text in self.inline_tables
+            load_csv_text(text, name, SERVICE_CSV_LIMITS)
+            for name, text in self.inline_tables
         )
         return Database(self.database_name, tables)
 

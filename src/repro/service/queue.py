@@ -25,8 +25,12 @@ directory): ``put`` when a job is admitted, ``ack`` with its payload,
 ``dead`` with its last error. Leases are deliberately *not* journaled —
 they are volatile by definition, and a restarted process must treat
 every journaled-but-unacked job as pending again (the at-least-once
-contract). A truncated final line (the crash happened mid-write) is
-ignored. Compaction rewrites the journal as a fresh segment via the
+contract). Every record carries a CRC32 (``crc``) over its canonical
+encoding: replay distinguishes a truncated final line (crash mid-write —
+stop, everything after is unreachable) from bit corruption *inside* an
+intact line (CRC mismatch — quarantine that record, keep replaying,
+because later appends were independent writes). Both are counted in
+``corrupt_records`` and surfaced through ``stats()``. Compaction rewrites the journal as a fresh segment via the
 write-temp-then-``os.replace`` recipe of :mod:`repro.harness.checkpoint`
 once completed records dominate, so the journal stays O(live jobs), not
 O(history). ``directory=None`` runs the same queue fully in memory
@@ -43,7 +47,13 @@ leased) jobs exist, which the HTTP front end converts into
 incremental tier memoizes under). Submitting a key that is already
 pending or leased attaches the new subscriber to the existing job
 (one execution, fan-out delivery); a key that already acked returns its
-payload immediately; only dead or unknown keys create new jobs.
+payload immediately; only dead or unknown keys create new jobs. The
+``reusable_result`` predicate narrows ack-reuse: the service passes one
+that refuses *degraded* payloads, so a verdict produced under an
+exhausted time/space budget or an open breaker is re-executed on
+resubmission rather than pinned forever by queue-level idempotency
+(mirroring the incremental tier, which never memoizes degraded
+verdicts).
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ import tempfile
 import threading
 import time
 import uuid
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -62,9 +73,27 @@ from repro.errors import QueueFullError, ReproError
 from repro.harness.parallel import RetryPolicy
 
 #: Journal format version (bump when the record layout changes).
-JOURNAL_VERSION = 1
+#: v2: every record carries a ``crc`` checksum field.
+JOURNAL_VERSION = 2
 #: Journal file name inside the queue directory.
 JOURNAL_NAME = "queue.journal"
+
+
+def _record_crc(record: dict) -> int:
+    """CRC32 of a record's canonical encoding (without its ``crc`` field).
+
+    Canonical = sorted keys, no whitespace: the checksum must not depend
+    on the key order the writer happened to use.
+    """
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(body.encode("utf-8"))
+
+
+def _encode_record(record: dict) -> str:
+    """One journal line: the record plus its ``crc``, newline-terminated."""
+    stamped = dict(record)
+    stamped["crc"] = _record_crc(record)
+    return json.dumps(stamped, separators=(",", ":")) + "\n"
 
 # Job lifecycle states.
 PENDING = "pending"
@@ -138,6 +167,7 @@ class DurableJobQueue:
         retry: RetryPolicy | None = None,
         compact_min_records: int = 1024,
         fsync: bool = False,
+        reusable_result: Callable[[dict], bool] | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -145,6 +175,7 @@ class DurableJobQueue:
         self.retry = retry or RetryPolicy()
         self.compact_min_records = compact_min_records
         self.fsync = fsync
+        self.reusable_result = reusable_result
         self.directory = Path(directory) if directory is not None else None
         self._cond = threading.Condition()
         self._jobs: dict[str, Job] = {}
@@ -197,6 +228,16 @@ class DurableJobQueue:
                 # (appends are sequential), so stop replaying here.
                 self.corrupt_records += 1
                 break
+            if not isinstance(record, dict) or record.pop(
+                "crc", None
+            ) != _record_crc(record):
+                # The line parses but its checksum does not match: bit
+                # corruption within an intact record (or a pre-v2 record
+                # with no checksum). Unlike truncation this says nothing
+                # about later lines — they were independent appends — so
+                # quarantine this record and keep replaying.
+                self.corrupt_records += 1
+                continue
             self._journal_records += 1
             self._apply(record)
         resumed = 0
@@ -246,7 +287,7 @@ class DurableJobQueue:
     def _append(self, record: dict) -> None:
         if self._journal is None:
             return
-        self._journal.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._journal.write(_encode_record(record))
         self._journal.flush()
         if self.fsync:
             os.fsync(self._journal.fileno())
@@ -284,18 +325,13 @@ class DurableJobQueue:
                 for job in sorted(self._jobs.values(), key=lambda j: j.seq):
                     if job.state == ACKED:
                         continue
-                    handle.write(
-                        json.dumps(self._put_record(job), separators=(",", ":"))
-                        + "\n"
-                    )
+                    handle.write(_encode_record(self._put_record(job)))
                     records += 1
                     if job.state == DEAD:
                         handle.write(
-                            json.dumps(
-                                {"op": "dead", "id": job.id, "error": job.error},
-                                separators=(",", ":"),
+                            _encode_record(
+                                {"op": "dead", "id": job.id, "error": job.error}
                             )
-                            + "\n"
                         )
                         records += 1
                 handle.flush()
@@ -378,8 +414,7 @@ class DurableJobQueue:
             if self._closed or self._draining:
                 raise ReproError("queue is draining; resubmit after restart")
             if self._live_locked() >= self.capacity:
-                existing_id = self._by_key.get(key)
-                if existing_id is None or self._jobs[existing_id].state == DEAD:
+                if self._dedupe_target_locked(key) is None:
                     self.rejected += 1
                     raise QueueFullError(
                         self.capacity, self.retry_after_seconds()
@@ -398,20 +433,18 @@ class DurableJobQueue:
         claim_fp: str = "",
         subscriber: Subscriber | None = None,
     ) -> tuple[Job, dict | None]:
-        existing_id = self._by_key.get(key)
-        if existing_id is not None:
-            existing = self._jobs[existing_id]
+        existing = self._dedupe_target_locked(key)
+        if existing is not None:
             if existing.state == ACKED:
                 self.deduped += 1
                 return existing, existing.result
-            if existing.state in (PENDING, LEASED):
-                self.deduped += 1
-                if subscriber is not None:
-                    existing.subscribers.append(subscriber)
-                return existing, None
-            # DEAD: fall through — a resubmission revives the work as
-            # a fresh job with a fresh attempt budget; the dead-letter
-            # tombstone keeps the history.
+            self.deduped += 1
+            if subscriber is not None:
+                existing.subscribers.append(subscriber)
+            return existing, None
+        # DEAD (tombstone keeps the history) or a non-reusable ack
+        # (degraded payload): fall through — the resubmission revives the
+        # work as a fresh job with a fresh attempt budget.
         self._seq += 1
         job = Job(
             id=uuid.uuid4().hex,
@@ -431,6 +464,27 @@ class DurableJobQueue:
         self.enqueued += 1
         self._cond.notify()
         return job, None
+
+    def _dedupe_target_locked(self, key: str) -> Job | None:
+        """The existing job a submission of ``key`` would attach to.
+
+        None when the key must create a fresh job: unknown, dead, or
+        acked with a payload the ``reusable_result`` predicate refuses
+        (a degraded verdict must not be pinned by idempotency).
+        """
+        job_id = self._by_key.get(key)
+        if job_id is None:
+            return None
+        job = self._jobs[job_id]
+        if job.state == DEAD:
+            return None
+        if (
+            job.state == ACKED
+            and self.reusable_result is not None
+            and not self.reusable_result(job.result or {})
+        ):
+            return None
+        return job
 
     def submit_group(
         self, entries: list[dict]
@@ -453,11 +507,10 @@ class DurableJobQueue:
             keys_seen: set[str] = set()
             for entry in entries:
                 key = entry["key"]
-                existing_id = self._by_key.get(key)
                 dedupes = (
-                    existing_id is not None
-                    and self._jobs[existing_id].state != DEAD
-                ) or key in keys_seen
+                    self._dedupe_target_locked(key) is not None
+                    or key in keys_seen
+                )
                 if not dedupes:
                     fresh += 1
                     keys_seen.add(key)
@@ -687,6 +740,7 @@ class DurableJobQueue:
                 "deadlettered": self.deadlettered,
                 "rejected": self.rejected,
                 "resumed": self.resumed,
+                "corrupt_records": self.corrupt_records,
                 "journal_records": self._journal_records,
                 "durable": self.directory is not None,
             }

@@ -52,7 +52,7 @@ from repro.core.config import AggCheckerConfig
 from repro.db.diskcache import fingerprint_of
 from repro.deadline import Deadline
 from repro.db.engine import EngineStats
-from repro.errors import ReproError
+from repro.errors import CsvFormatError, ReproError
 from repro.harness.runner import CheckerPool, PoolEntry
 from repro.service.incremental import IncrementalCache, scope_fingerprint
 from repro.service.protocol import (
@@ -61,6 +61,7 @@ from repro.service.protocol import (
     claim_event,
     data_spec,
     encode_event,
+    enforce_claim_limit,
     error_event,
     verdict_payload,
 )
@@ -200,6 +201,7 @@ class VerificationService:
             )
             self._register(database_fp, scope_fp, entry, source=data_spec(request))
         claims = detect_claims(document, self.config.claim_detection)
+        enforce_claim_limit(len(claims))
         return _PreparedCheck(
             request, document, entry, claims, database_fp, scope_fp
         )
@@ -562,16 +564,36 @@ class _RequestHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length)
         try:
             payload = json.loads(body)
-        except json.JSONDecodeError as error:
+        except ValueError as error:
+            # ValueError covers JSONDecodeError AND UnicodeDecodeError:
+            # binary garbage gets the same structured 400 as broken JSON.
             service.note_error()
-            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            self._send_json(
+                400,
+                {
+                    "error": f"invalid JSON body: {error}",
+                    "reason": "invalid_json",
+                },
+            )
             return
         try:
             request = CheckRequest.from_json(payload)
             prepared = service.prepare(request)
         except ProtocolError as error:
             service.note_error()
-            self._send_json(400, {"error": str(error)})
+            self._send_json(
+                400, {"error": str(error), "reason": error.reason}
+            )
+            return
+        except CsvFormatError as error:
+            # Malformed/hostile client data is a *request* problem:
+            # structured 400 with a machine-readable reason. An
+            # unreadable server-side file is an environment problem: 422.
+            service.note_error()
+            status = 422 if error.reason == "unreadable_file" else 400
+            self._send_json(
+                status, {"error": str(error), "reason": error.reason}
+            )
             return
         except (ReproError, OSError) as error:
             service.note_error()

@@ -48,7 +48,14 @@ _SHED_BUDGET_SECONDS = 1e-9
 
 
 class CircuitBreaker:
-    """Consecutive-failure breaker with a half-open recovery probe."""
+    """Consecutive-failure breaker with a half-open recovery probe.
+
+    Besides the failure-driven open state, the breaker can be *forced*
+    open by an external monitor (the memory-pressure watchdog): while
+    forced, every caller sheds regardless of failure counters or
+    cooldown, and only :meth:`release_forced` closes it again — recovery
+    is the monitor observing pressure subside, not the passage of time.
+    """
 
     def __init__(
         self, failure_threshold: int = 5, cooldown_seconds: float = 30.0
@@ -63,8 +70,22 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: float | None = None
         self._probing = False
+        self._forced_reason: str | None = None
         self.trips = 0
+        self.forced_trips = 0
         self.shed_groups = 0
+
+    def force_open(self, reason: str) -> None:
+        """Hold the breaker open until :meth:`release_forced` (idempotent)."""
+        with self._lock:
+            if self._forced_reason is None:
+                self.forced_trips += 1
+            self._forced_reason = reason
+
+    def release_forced(self) -> None:
+        """Clear a forced-open hold (failure-driven state is untouched)."""
+        with self._lock:
+            self._forced_reason = None
 
     def allow(self) -> bool:
         """True when the backend should be tried for real.
@@ -73,6 +94,9 @@ class CircuitBreaker:
         cooldown elapses; then exactly one caller gets a half-open probe.
         """
         with self._lock:
+            if self._forced_reason is not None:
+                self.shed_groups += 1
+                return False
             if self._opened_at is None:
                 return True
             if time.monotonic() - self._opened_at < self.cooldown_seconds:
@@ -108,6 +132,8 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         with self._lock:
+            if self._forced_reason is not None:
+                return "open"
             if self._opened_at is None:
                 return "closed"
             if time.monotonic() - self._opened_at >= self.cooldown_seconds:
@@ -117,11 +143,14 @@ class CircuitBreaker:
     def stats(self) -> dict:
         with self._lock:
             opened = self._opened_at
+            forced = self._forced_reason
         return {
             "state": self.state,
             "failure_threshold": self.failure_threshold,
             "cooldown_seconds": self.cooldown_seconds,
             "trips": self.trips,
+            "forced_open": forced,
+            "forced_trips": self.forced_trips,
             "shed_groups": self.shed_groups,
             "open_for_seconds": (
                 round(time.monotonic() - opened, 3) if opened is not None
