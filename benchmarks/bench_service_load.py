@@ -6,19 +6,28 @@ port — the deployment shape of ``python -m repro serve`` — and writes
 
 - ``load``: open-loop arrivals (documents POSTed on a fixed schedule,
   independent of completion — the arrival process never slows down to
-  flatter the server) across several databases. Reports sustained
-  claims/sec and per-document stream latency p50/p99, and asserts the
+  flatter the server) across several databases, run **twice**: once with
+  the shadow auditor disabled and once with every acked group audited
+  (``audit_rate=1.0``, a superset of the default 5% sampling). Reports
+  sustained claims/sec and per-document stream latency p50/p99 for the
+  audited pass, the baseline claims/sec, and their ratio — the audit
+  overhead, asserted to stay within the 10% budget — and asserts the
   delivery contract: zero lost claims (every stream reaches its summary
   with every claim index present exactly once) and zero duplicated acks.
 - ``chaos``: the same workload shape at reduced scale with
   :mod:`repro.faults` armed — workers killed mid-lease (lease-expiry
   recovery), a clean executor failure (nack -> retry), a slow pipeline
-  stage, a corrupt-cache probe, a space-budget blowup
-  (``budget.estimate``), and a cost-admission refusal
-  (``admission.cost``). The soak passes only if, despite the injected
-  failures, every *admitted* job is acked exactly once (zero lost, zero
-  duplicated), the one refused document got a structured 413, and the
-  budget blowup degraded verdicts instead of killing a worker.
+  stage, a space-budget blowup (``budget.estimate``), a cost-admission
+  refusal (``admission.cost``) — plus ``audit.bitflip`` corruption in
+  every state tier: a verdict payload flipped just before it is acked, a
+  cube cell poisoned before its CRC, an incremental-memo payload
+  poisoned after its CRC, and a byte flipped in the queue journal. The
+  soak passes only if, despite the injected failures, every *admitted*
+  job is acked exactly once, the shadow auditor (sampling at 100%)
+  catches **exactly** the injected wrong verdict — zero *undetected*
+  wrong verdicts acked — repairs it, and demotes the database's trust;
+  and the offline scrub (``repro scrub``'s engine) detects every
+  surviving corruption, after which the state verifies clean.
 
 The regression gate (``benchmarks/check_regression.py``) tracks the two
 ``completion_ratio`` values (acked/submitted — hardware-independent and
@@ -32,6 +41,7 @@ Smoke knobs (CI): ``BENCH_LOAD_DBS``, ``BENCH_LOAD_DOCS``,
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -41,14 +51,20 @@ from pathlib import Path
 
 from bench_service import _claims_of, _env_int, _post_check, _write_article, _write_database_csv
 
+from repro.audit.scrub import scrub_state
+from repro.db import Database, load_csv
 from repro.faults import FaultSpec, active
 from repro.harness.parallel import RetryPolicy
 from repro.harness.reporting import format_table
 from repro.ir.index import numpy_available
 from repro.service import create_async_server
+from repro.service.queue import JOURNAL_NAME, scan_journal
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_service_load.json"
+
+#: Sustained-throughput floor of the fully-audited pass vs. the baseline.
+AUDIT_OVERHEAD_FLOOR = 0.90
 
 
 def _env_float(name: str, default: float) -> float:
@@ -73,6 +89,14 @@ def _build_workload(tmp_path: Path, n_databases: int, docs_per_db: int,
                 {"csv": [str(csv_path)], "article_path": str(article_path)}
             )
     return jobs
+
+
+def _workload_databases(jobs: list[dict]) -> list[Database]:
+    """The workload's databases, rebuilt for semantic scrub validation."""
+    return [
+        Database(Path(csv).stem, [load_csv(csv)])
+        for csv in sorted({job["csv"][0] for job in jobs})
+    ]
 
 
 def _open_loop(url: str, jobs: list[dict], rate: float) -> list[dict]:
@@ -173,6 +197,12 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[position]
 
 
+def _fired(state_dir: Path, spec: FaultSpec) -> int:
+    """How many times ``spec`` fired, from its cross-process markers."""
+    digest = hashlib.sha256(spec.encode().encode("utf-8")).hexdigest()[:16]
+    return len(list(Path(state_dir).glob(f"{digest}.*")))
+
+
 def _merge_output(section: str, payload: dict) -> dict:
     """Update one section of BENCH_service_load.json, keeping the other."""
     merged = {
@@ -193,6 +223,47 @@ def _merge_output(section: str, payload: dict) -> dict:
     return merged
 
 
+def _run_load_pass(
+    jobs: list[dict], claims_per_doc: int, rate: float, workers: int,
+    audit_rate: float,
+) -> dict:
+    """One open-loop pass on a fresh server; returns its measurements."""
+    server = create_async_server(
+        port=0,
+        workers=workers,
+        queue_capacity=max(256, len(jobs) * claims_per_doc),
+        visibility_timeout=120.0,
+        audit_rate=audit_rate,
+    )
+    server.start_in_thread()
+    try:
+        wall_started = time.perf_counter()
+        outcomes = _open_loop(server.url, jobs, rate)
+        wall = time.perf_counter() - wall_started
+        audit = None
+        if server.service.auditor is not None:
+            assert server.service.auditor.flush(120.0)
+            audit = server.service.auditor.snapshot()
+        stats = server.service.stats()
+    finally:
+        server.shutdown_gracefully()
+
+    total_claims, rejected = _assert_delivery(outcomes, claims_per_doc)
+    assert rejected == 0, "no admission faults armed in the load leg"
+    queue = stats["queue"]
+    assert queue["acked"] == queue["enqueued"], queue   # zero lost
+    assert queue["duplicate_acks"] == 0, queue          # zero duplicated
+    assert queue["deadlettered"] == 0, queue
+    assert stats["workers"]["worker_deaths"] == 0, stats["workers"]
+    return {
+        "outcomes": outcomes,
+        "queue": queue,
+        "audit": audit,
+        "wall": wall,
+        "claims_per_sec": total_claims / max(wall, 1e-9),
+    }
+
+
 def test_service_open_loop_load(capsys, tmp_path):
     n_databases = _env_int("BENCH_LOAD_DBS", 2)
     docs_per_db = _env_int("BENCH_LOAD_DOCS", 4)
@@ -204,31 +275,31 @@ def test_service_open_loop_load(capsys, tmp_path):
     jobs = _build_workload(
         tmp_path, n_databases, docs_per_db, claims_per_doc, rows
     )
-    server = create_async_server(
-        port=0,
-        workers=workers,
-        queue_capacity=max(256, len(jobs) * claims_per_doc),
-        visibility_timeout=120.0,
+    # Two passes on fresh servers: the audited one samples at 100% — a
+    # strict superset of the default 5% rate, so its overhead bounds the
+    # default's from above.
+    baseline = _run_load_pass(
+        jobs, claims_per_doc, rate, workers, audit_rate=0.0
     )
-    server.start_in_thread()
-    try:
-        wall_started = time.perf_counter()
-        outcomes = _open_loop(server.url, jobs, rate)
-        wall = time.perf_counter() - wall_started
-        stats = server.service.stats()
-    finally:
-        server.shutdown_gracefully()
+    audited = _run_load_pass(
+        jobs, claims_per_doc, rate, workers, audit_rate=1.0
+    )
+    assert audited["audit"] is not None
+    assert audited["audit"]["divergences"] == 0, audited["audit"]
+    assert audited["audit"]["checks"] >= 1, audited["audit"]
+    overhead_ratio = audited["claims_per_sec"] / max(
+        baseline["claims_per_sec"], 1e-9
+    )
+    assert overhead_ratio >= AUDIT_OVERHEAD_FLOOR, (
+        f"shadow audit cost too high: {audited['claims_per_sec']:.1f} vs "
+        f"{baseline['claims_per_sec']:.1f} claims/s "
+        f"(ratio {overhead_ratio:.3f} < {AUDIT_OVERHEAD_FLOOR})"
+    )
 
-    total_claims, rejected = _assert_delivery(outcomes, claims_per_doc)
-    assert rejected == 0, "no admission faults armed in the load leg"
-    queue = stats["queue"]
+    queue = audited["queue"]
     submitted = queue["enqueued"]
-    assert queue["acked"] == submitted, queue          # zero lost
-    assert queue["duplicate_acks"] == 0, queue         # zero duplicated
-    assert queue["deadlettered"] == 0, queue
-    assert stats["workers"]["worker_deaths"] == 0, stats["workers"]
-
-    latencies = sorted(o["latency"] for o in outcomes)
+    latencies = sorted(o["latency"] for o in audited["outcomes"])
+    total_claims = round(audited["claims_per_sec"] * audited["wall"])
     results = {
         "databases": n_databases,
         "documents": len(jobs),
@@ -240,10 +311,15 @@ def test_service_open_loop_load(capsys, tmp_path):
         "acked_jobs": queue["acked"],
         "duplicate_acks": queue["duplicate_acks"],
         "completion_ratio": round(queue["acked"] / max(submitted, 1), 4),
-        "claims_per_sec": round(total_claims / max(wall, 1e-9), 2),
+        "claims_per_sec": round(audited["claims_per_sec"], 2),
+        "baseline_claims_per_sec": round(baseline["claims_per_sec"], 2),
+        "audit_rate": 1.0,
+        "audit_checks": audited["audit"]["checks"],
+        "audit_divergences": audited["audit"]["divergences"],
+        "audit_overhead_ratio": round(overhead_ratio, 4),
         "p50_seconds": round(_percentile(latencies, 0.50), 4),
         "p99_seconds": round(_percentile(latencies, 0.99), 4),
-        "wall_seconds": round(wall, 4),
+        "wall_seconds": round(audited["wall"], 4),
     }
     _merge_output("load", results)
 
@@ -256,7 +332,12 @@ def test_service_open_loop_load(capsys, tmp_path):
                 [
                     ["documents", str(len(jobs))],
                     ["claims", str(total_claims)],
-                    ["claims/s", f"{results['claims_per_sec']:.1f}"],
+                    ["claims/s (audited)", f"{results['claims_per_sec']:.1f}"],
+                    ["claims/s (baseline)",
+                     f"{results['baseline_claims_per_sec']:.1f}"],
+                    ["audit overhead",
+                     f"{results['audit_overhead_ratio']:.3f}x"],
+                    ["audit checks", str(results["audit_checks"])],
                     ["p50", f"{results['p50_seconds']:.3f}s"],
                     ["p99", f"{results['p99_seconds']:.3f}s"],
                     ["completion", f"{results['completion_ratio']:.4f}"],
@@ -267,21 +348,30 @@ def test_service_open_loop_load(capsys, tmp_path):
 
 
 def test_service_chaos_soak(capsys, tmp_path):
-    """The same load with failures injected: nothing lost, nothing doubled.
+    """The same load with failures injected: nothing lost, nothing doubled,
+    nothing silently wrong.
 
     Armed faults (see :mod:`repro.faults`): two workers die mid-lease
     (``queue.lease``/``raise`` — no ack, no nack; recovery is lease
     expiry + re-delivery by a respawned worker), one clean executor
     failure (``queue.exec``/``raise`` — nack -> jittered retry), one slow
-    matching stage (``checker.stage``/``sleep``), one corrupt-cache
-    probe (``diskcache.read``/``corrupt`` — a no-op unless the pipeline
-    reads a disk cache, armed to prove the service path tolerates it),
-    one space-budget blowup (``budget.estimate``/``raise`` — one cube
-    execution reports an over-budget estimate; the checker ladder must
-    degrade that document's verdicts instead of crashing the worker),
-    and one admission rejection (``admission.cost``/``raise`` — one
-    document is refused with a structured 413 before it ever enqueues;
-    the rejection is counted, the other documents still deliver).
+    matching stage (``checker.stage``/``sleep``), one space-budget
+    blowup (``budget.estimate``/``raise`` — one cube execution reports an
+    over-budget estimate; the checker ladder must degrade that document's
+    verdicts instead of crashing the worker), one admission rejection
+    (``admission.cost``/``raise`` — one document refused with a
+    structured 413 before it ever enqueues), and the ``audit.bitflip``
+    corruptions: one verdict payload flipped just before ack (the shadow
+    auditor, sampling at 100%, must catch exactly this one divergence —
+    every other acked verdict audits clean), one incremental-memo
+    payload poisoned *after* its CRC (the next hit must self-detect and
+    recompute), and one byte flipped in the durable queue journal
+    (caught by the per-record CRC scan over a pre-compaction snapshot).
+    The cube tier is corrupted post-drain — one cell poisoned before its
+    CRC (semantic) and one byte flipped in a stored file (structural) —
+    and the offline scrub (the engine behind ``python -m repro scrub``)
+    must detect both, quarantine them, and leave the state verifiably
+    clean.
     """
     n_databases = _env_int("BENCH_LOAD_CHAOS_DBS", 1)
     docs_per_db = _env_int("BENCH_LOAD_CHAOS_DOCS", 3)
@@ -292,28 +382,87 @@ def test_service_chaos_soak(capsys, tmp_path):
     jobs = _build_workload(
         tmp_path, n_databases, docs_per_db, claims_per_doc, rows
     )
+    queue_dir = tmp_path / "queue"
+    cache_dir = tmp_path / "cube-cache"
+    from repro.core.config import AggCheckerConfig
+
     server = create_async_server(
         port=0,
-        workers=2,
+        config=AggCheckerConfig(cache_dir=str(cache_dir)),
+        queue_dir=queue_dir,
         queue_capacity=256,
+        workers=2,
         visibility_timeout=1.0,
         retry=RetryPolicy(max_attempts=6, backoff_base=0.05, backoff_cap=0.2),
+        audit_rate=1.0,
+        # Keep the demoted database demoted through the resubmission pass
+        # so the DISK_BYPASS rung is observably exercised (recovery
+        # itself is covered by the unit/service tests).
+        trust_recover_after=10_000,
     )
     server.start_in_thread()
+    specs = (
+        FaultSpec("queue.lease", "raise", times=2),
+        FaultSpec("queue.exec", "raise", times=1),
+        FaultSpec("checker.stage", "sleep", match="match",
+                  seconds=0.3, times=1),
+        FaultSpec("budget.estimate", "raise", times=1),
+        FaultSpec("admission.cost", "raise", times=1),
+        # The integrity tier: one wrong verdict and one journal flip.
+        # (The memo poison is armed separately below — on the first soak
+        # group it would land on the same claim as the verdict poison,
+        # and the auditor's repair of that claim would overwrite the
+        # corrupted entry before its CRC check ever ran. The cube-tier
+        # corruptions are planted after drain: the divergence repair
+        # wholesale-invalidates the demoted database's disk entries, so
+        # corruption injected during the soak is destroyed — correctly,
+        # but unobservably — by the trust ladder's own containment.)
+        FaultSpec("audit.bitflip", "raise", match="verdict:*", times=1),
+        FaultSpec("audit.bitflip", "bitflip", match="journal", times=1),
+    )
+    memo_spec = FaultSpec("audit.bitflip", "raise", match="memo:*", times=1)
+
+    def resubmit_all() -> None:
+        for payload in jobs:
+            try:
+                _post_check(server.url, payload)
+            except urllib.error.HTTPError as error:
+                error.close()  # the one admission-refused doc, if re-shed
+
     try:
-        with active(
-            FaultSpec("queue.lease", "raise", times=2),
-            FaultSpec("queue.exec", "raise", times=1),
-            FaultSpec("checker.stage", "sleep", match="match",
-                      seconds=0.3, times=1),
-            FaultSpec("diskcache.read", "corrupt", times=1),
-            FaultSpec("budget.estimate", "raise", times=1),
-            FaultSpec("admission.cost", "raise", times=1),
-        ):
+        with active(*specs) as state_dir:
             wall_started = time.perf_counter()
             outcomes = _open_loop(server.url, jobs, rate)
             wall = time.perf_counter() - wall_started
+            assert server.service.auditor.flush(120.0)
+            fired = {
+                f"{spec.point}:{spec.match}": _fired(state_dir, spec)
+                for spec in specs
+            }
+        divergences_after_soak = server.service.auditor.stats.audit_divergences
+        # First resubmission pass: repaired claims serve from the memo,
+        # the soak's degraded claims recompute at full quality — and the
+        # memo fault poisons one of those fresh verdicts after its CRC
+        # was taken.
+        with active(memo_spec) as memo_state:
+            resubmit_all()
+            assert server.service.auditor.flush(120.0)
+            fired[f"{memo_spec.point}:{memo_spec.match}"] = _fired(
+                memo_state, memo_spec
+            )
+        # Second resubmission pass, nothing armed: the poisoned memo
+        # entry must fail its CRC on the hit, degrade to a miss, and
+        # recompute. The recomputed singleton batches are themselves
+        # shadow-audited — zero *new* divergences across both passes
+        # proves no wrong verdict survived anywhere.
+        resubmit_all()
+        assert server.service.auditor.flush(120.0)
+        audit = server.service.auditor.snapshot()
         stats = server.service.stats()
+        # Snapshot the journal *before* drain: close() compacts (rewrites)
+        # it, which would scrub away the injected flip.
+        journal_snapshot = tmp_path / "journal.snapshot"
+        journal_snapshot.write_bytes((queue_dir / JOURNAL_NAME).read_bytes())
     finally:
         server.shutdown_gracefully()
 
@@ -345,6 +494,85 @@ def test_service_chaos_soak(capsys, tmp_path):
     )
     assert degraded_claims >= 1, "budget fault should degrade one stream"
 
+    # --- integrity: the injected wrong verdict was the ONLY divergence,
+    # it was caught, repaired, and the database's trust demoted. Nothing
+    # was silently dropped from sampling, so "exactly one divergence"
+    # really means zero undetected wrong verdicts were acked.
+    assert fired["audit.bitflip:verdict:*"] == 1, fired
+    assert audit["divergences"] == 1, audit
+    assert divergences_after_soak == 1, divergences_after_soak
+    assert audit["repairs"] >= 1, audit
+    assert audit["dropped_tasks"] == 0, audit
+    assert audit["audit_errors"] == 0, audit
+    assert audit["skipped_stale"] == 0, audit
+    assert audit["ladder"]["demotions"] >= 1, audit["ladder"]
+    assert audit["disk_bypassed_groups"] >= 1, audit
+
+    # --- integrity: the poisoned memo entry self-detected on its next
+    # hit (CRC mismatch -> counted -> recomputed) during the resubmission
+    # pass.
+    assert fired["audit.bitflip:memo:*"] == 1, fired
+    assert stats["incremental"]["corrupted"] >= 1, stats["incremental"]
+
+    # --- integrity: the journal flip is caught by the per-record CRC
+    # scan of the pre-compaction snapshot.
+    assert fired["audit.bitflip:journal"] == 1, fired
+    journal_scan = scan_journal(journal_snapshot)
+    journal_detected = journal_scan["corrupt"] + int(journal_scan["truncated"])
+    assert journal_detected >= 1, journal_scan
+
+    # --- integrity: the cube tier, post-drain. The cache directory is
+    # empty here — the verdict-divergence repair invalidated the demoted
+    # database's disk entries and DISK_BYPASS prevented re-stores — so
+    # it is repopulated offline and both corruption classes are planted:
+    # one cell poisoned *before* its CRC (semantic — invisible to any
+    # framing check, only the scrub's recompute can see it) and one byte
+    # flipped in a stored file (structural — the per-entry CRC catches
+    # it). After quarantine the state must verify clean end to end.
+    from repro.db import DiskCubeCache, QueryEngine, parse_query
+
+    databases = _workload_databases(jobs)
+    probe_db = databases[0]
+    first_row = probe_db.tables[0].rows[0]
+    table = probe_db.tables[0].name
+    cell_spec = FaultSpec("audit.bitflip", "raise", match="cell:*", times=1)
+    with active(cell_spec):
+        QueryEngine(probe_db, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+            [parse_query(
+                f"SELECT Count(*) FROM {table} "
+                f"WHERE category = '{first_row[2]}'",
+                probe_db,
+            )]
+        )
+    # A second entry on a different dimension (hence a different cube
+    # key and file): the structurally-flipped victim below.
+    QueryEngine(probe_db, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+        [parse_query(
+            f"SELECT Count(*) FROM {table} "
+            f"WHERE category = '{first_row[2]}' AND beta = '{first_row[1]}'",
+            probe_db,
+        )]
+    )
+    scrub_first = scrub_state(cache_dir=cache_dir, databases=databases)
+    [cube_first] = [
+        t for t in scrub_first["tiers"] if t["tier"] == "disk_cache"
+    ]
+    semantic_detected = cube_first["semantic_mismatch"]
+    assert semantic_detected >= 1, cube_first
+
+    survivor = sorted(cache_dir.glob("*.cube"))[0]
+    blob = bytearray(survivor.read_bytes())
+    blob[len(blob) // 2] ^= 0x40
+    survivor.write_bytes(bytes(blob))
+    scrub_second = scrub_state(
+        cache_dir=cache_dir, queue_dir=queue_dir, databases=databases
+    )
+    assert scrub_second["corrupt_total"] >= 1, scrub_second
+    scrub_final = scrub_state(
+        cache_dir=cache_dir, queue_dir=queue_dir, databases=databases
+    )
+    assert scrub_final["clean"], scrub_final
+
     results = {
         "databases": n_databases,
         "documents": len(jobs),
@@ -359,6 +587,17 @@ def test_service_chaos_soak(capsys, tmp_path):
         "deadlettered": queue["deadlettered"],
         "admission_rejected": rejected,
         "degraded_claims": degraded_claims,
+        "audit_checks": audit["checks"],
+        "audit_divergences": audit["divergences"],
+        "audit_repairs": audit["repairs"],
+        "audit_cell_scrubs": audit["cell_scrubs"],
+        "trust_demotions": audit["ladder"]["demotions"],
+        "memo_corruption_detected": stats["incremental"]["corrupted"],
+        "journal_corruption_detected": journal_detected,
+        "semantic_corruption_detected": semantic_detected,
+        "scrub_corrupt_detected": scrub_first["corrupt_total"]
+        + scrub_second["corrupt_total"],
+        "scrub_final_clean": scrub_final["clean"],
         "claims_per_sec": round(total_claims / max(wall, 1e-9), 2),
         "wall_seconds": round(wall, 4),
     }
@@ -378,6 +617,13 @@ def test_service_chaos_soak(capsys, tmp_path):
                     ["duplicated", str(queue["duplicate_acks"])],
                     ["413 refusals", str(rejected)],
                     ["degraded claims", str(degraded_claims)],
+                    ["audit checks", str(audit["checks"])],
+                    ["divergences caught", str(audit["divergences"])],
+                    ["corruption detected",
+                     str(results["scrub_corrupt_detected"]
+                         + journal_detected
+                         + results["memo_corruption_detected"])],
+                    ["final scrub clean", str(scrub_final["clean"])],
                     ["completion", f"{results['completion_ratio']:.4f}"],
                 ],
             )

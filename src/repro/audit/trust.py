@@ -1,0 +1,118 @@
+"""Per-database trust ladder: how much cached state a database may use.
+
+The degradation ladder (PR 6) trades *quality* for liveness under time
+and space pressure; this ladder trades *cache reuse* for integrity under
+evidence of corruption. Each database fingerprint sits on one rung:
+
+- ``FULL`` — every tier enabled (in-memory cells, disk cube cache,
+  incremental memos). The steady state.
+- ``DISK_BYPASS`` — the persistent tier is bypassed for this database's
+  groups: cells are recomputed (or served from the in-memory cache that
+  was just cleared and repopulated from scratch), nothing is read from
+  disk. One audited divergence lands here — the disk tier is the only
+  one that survives restarts, so it is the first suspect.
+- ``ORACLE_ONLY`` — groups for this database execute on the NAIVE
+  row-wise oracle path with no caches at all: maximum confidence,
+  maximum cost. A divergence while already bypassing disk lands here.
+
+Transitions are evidence-driven and symmetric: every audited divergence
+demotes one rung (and resets the clean streak); ``recover_after``
+consecutive clean audits promote one rung — the self-healing half. The
+ladder never blocks service: a fully distrusted database still gets
+correct answers, just slowly.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+
+class TrustLevel(enum.Enum):
+    """How much cached state one database's groups may consume."""
+
+    FULL = "full"
+    DISK_BYPASS = "disk_bypass"
+    ORACLE_ONLY = "oracle_only"
+
+
+#: Rung order, most to least trusted (index = rung number).
+_RUNGS = (TrustLevel.FULL, TrustLevel.DISK_BYPASS, TrustLevel.ORACLE_ONLY)
+
+
+class TrustLadder:
+    """Thread-safe trust state per database fingerprint."""
+
+    def __init__(self, recover_after: int = 8) -> None:
+        if recover_after < 1:
+            raise ValueError(
+                f"recover_after must be >= 1, got {recover_after}"
+            )
+        #: Consecutive clean audits required to climb one rung back up.
+        self.recover_after = recover_after
+        self._lock = threading.Lock()
+        self._rung: dict[str, int] = {}
+        self._clean_streak: dict[str, int] = {}
+        self._divergences: dict[str, int] = {}
+        #: Total rung demotions / promotions across all databases.
+        self.demotions = 0
+        self.promotions = 0
+
+    def level(self, fingerprint: str) -> TrustLevel:
+        """Current rung for a database (FULL when never seen)."""
+        with self._lock:
+            return _RUNGS[self._rung.get(fingerprint, 0)]
+
+    def record_divergence(self, fingerprint: str) -> TrustLevel:
+        """An audited verdict diverged: demote one rung, reset the streak."""
+        with self._lock:
+            self._divergences[fingerprint] = (
+                self._divergences.get(fingerprint, 0) + 1
+            )
+            self._clean_streak[fingerprint] = 0
+            rung = self._rung.get(fingerprint, 0)
+            if rung < len(_RUNGS) - 1:
+                rung += 1
+                self._rung[fingerprint] = rung
+                self.demotions += 1
+            return _RUNGS[rung]
+
+    def record_clean(self, fingerprint: str, checks: int = 1) -> TrustLevel:
+        """``checks`` audited verdicts matched the oracle; maybe promote."""
+        with self._lock:
+            rung = self._rung.get(fingerprint, 0)
+            if rung == 0:
+                return _RUNGS[0]
+            streak = self._clean_streak.get(fingerprint, 0) + checks
+            if streak >= self.recover_after:
+                rung -= 1
+                self._rung[fingerprint] = rung
+                self.promotions += 1
+                streak = 0
+            self._clean_streak[fingerprint] = streak
+            return _RUNGS[rung]
+
+    def degraded(self) -> bool:
+        """Whether any database currently sits below FULL."""
+        with self._lock:
+            return any(rung > 0 for rung in self._rung.values())
+
+    def stats(self) -> dict:
+        """JSON-shaped snapshot for ``GET /audit`` and ``/health``."""
+        with self._lock:
+            databases = {}
+            for fingerprint, rung in sorted(self._rung.items()):
+                if rung == 0 and not self._divergences.get(fingerprint):
+                    continue
+                databases[fingerprint] = {
+                    "level": _RUNGS[rung].value,
+                    "divergences": self._divergences.get(fingerprint, 0),
+                    "clean_streak": self._clean_streak.get(fingerprint, 0),
+                }
+            return {
+                "recover_after": self.recover_after,
+                "demotions": self.demotions,
+                "promotions": self.promotions,
+                "degraded": any(r > 0 for r in self._rung.values()),
+                "databases": databases,
+            }

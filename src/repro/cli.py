@@ -9,6 +9,7 @@ Usage::
     python -m repro corpus-stats
     python -m repro corpus-run --workers 4 --cache-dir .cubecache
     python -m repro serve --port 8765 --cache-dir .cubecache
+    python -m repro scrub --cache-dir .cubecache --queue-dir .queue --json
 
 ``check`` loads one or more CSV files as tables, verifies the article
 (HTML subset or plain text), and prints spell-checker markup; ``--json``
@@ -22,9 +23,12 @@ one per line and the exit code is 3. ``serve`` runs the resident
 verification service: ``POST /check`` admits each document onto a
 bounded durable job queue (``--queue-dir`` makes it crash-survivable)
 and streams per-claim NDJSON verdicts as a worker pool leases, verifies,
-and acks the jobs; ``GET /health``, ``GET /stats``, and
-``GET /deadletter`` expose service, queue, and engine counters (see
-ARCHITECTURE.md, "Service layer" and "Queue & delivery semantics").
+and acks the jobs; ``GET /health``, ``GET /stats``, ``GET /deadletter``,
+and ``GET /audit`` expose service, queue, engine, and integrity-audit
+counters. ``scrub`` is the offline integrity pass over every persisted
+state tier (disk cube cache, queue journal, corpus checkpoints); it
+quarantines corruption and exits 4 when any was found (see
+ARCHITECTURE.md, "Integrity auditing & trust ladder").
 """
 
 from __future__ import annotations
@@ -103,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent cube-cell cache directory (keyed by data content; "
         "safe to share across runs and concurrent processes)",
     )
+    _add_disk_cache_min_rows(check)
     check.add_argument(
         "--claim-deadline",
         type=float,
@@ -140,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent cube-cell cache shared by all workers and runs",
     )
+    _add_disk_cache_min_rows(corpus_run)
     corpus_run.add_argument(
         "--checkpoint",
         metavar="FILE",
@@ -191,8 +197,22 @@ def build_parser() -> argparse.ArgumentParser:
         "excess load with 429 + Retry-After. Checkers stay warm per "
         "database content fingerprint; verdicts are memoized per claim "
         "(budget-degraded verdicts never are) so resubmitting an edited "
-        "document re-evaluates only changed claims. --legacy-server "
-        "restores the PR-5 thread-per-request front end.",
+        "document re-evaluates only changed claims. "
+        "Integrity is audited online: --audit-rate samples that fraction "
+        "of acked fresh verdict groups and re-verifies them in the "
+        "background against the naive row-wise oracle with every cache "
+        "bypassed; each audit also deep-scrubs a sample of the database's "
+        "disk cube-cache entries (bit-exact recompute, corrupt files "
+        "quarantined as *.corrupt). A divergence repairs the memoized "
+        "verdict, invalidates the database's cached state, and demotes "
+        "the database one rung on a per-database trust ladder (full "
+        "caches -> disk tier bypassed -> oracle-only execution); "
+        "consecutive clean audits climb back up. GET /audit reports "
+        "divergences, repairs, scrub counters, and ladder positions; "
+        "/health turns 'degraded' while any database sits below full "
+        "trust. --audit-rate 0 disables the subsystem. --legacy-server "
+        "restores the PR-5 thread-per-request front end (no queue, no "
+        "audit).",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -221,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent cube-cell cache shared by all served databases",
     )
+    _add_disk_cache_min_rows(serve)
     serve.add_argument(
         "--no-incremental",
         action="store_true",
@@ -317,6 +338,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(asyncio server only; needs /proc)",
     )
     serve.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="fraction of acked fresh verdict groups shadow-verified in "
+        "the background against the naive row-wise oracle (caches "
+        "bypassed); divergences repair the memoized verdict and demote "
+        "the database's trust rung. 0 disables auditing (default: 0.05, "
+        "asyncio server only)",
+    )
+    serve.add_argument(
+        "--audit-backlog",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max sampled groups queued for audit; excess samples are "
+        "dropped (counted), never blocking the serving path (default: 64)",
+    )
+    serve.add_argument(
+        "--trust-recover-after",
+        type=int,
+        default=8,
+        metavar="N",
+        help="consecutive clean audited verdicts a demoted database needs "
+        "to climb one trust rung back toward full caching (default: 8)",
+    )
+    serve.add_argument(
         "--legacy-server",
         action="store_true",
         help="serve with the thread-per-request front end instead of the "
@@ -325,7 +373,70 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="offline integrity scrub of persisted state (cube cache, "
+        "queue journal, checkpoints)",
+        description="Walk every requested persisted-state tier and verify "
+        "its integrity: disk cube-cache entries (--cache-dir) are checked "
+        "structurally (magic + CRC32 + payload decode) and, when the "
+        "owning database's CSVs are supplied via --csv, semantically "
+        "(every cached cube cell recomputed from source and compared "
+        "bit-exact); the durable queue journal (--queue-dir) and corpus "
+        "checkpoints (--checkpoint, repeatable) are scanned record by "
+        "record against their per-record CRC32 framing, tolerating a "
+        "truncated tail (a crashed writer) but flagging interior "
+        "corruption. Corrupt cube entries are quarantined by renaming to "
+        "*.corrupt so the serving path never reads them again; journals "
+        "and checkpoints are never modified (their owners skip bad "
+        "records on load). The report is machine-readable with --json. "
+        "Exit status: 0 when every walked tier is clean, 4 when any "
+        "corruption was found (a second scrub over the now-quarantined "
+        "state exits 0), 2 on usage errors.",
+    )
+    scrub.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="disk cube-cache directory to scrub (corrupt entries are "
+        "quarantined as *.corrupt)",
+    )
+    scrub.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        help="durable queue directory whose journal to scan (read-only)",
+    )
+    scrub.add_argument(
+        "--checkpoint",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="corpus checkpoint file to scan (repeatable, read-only)",
+    )
+    scrub.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="CSV source file(s) forming the database cached entries were "
+        "computed from (repeatable); enables semantic recompute "
+        "validation of cube entries whose content fingerprint matches",
+    )
+    scrub.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
     return parser
+
+
+def _add_disk_cache_min_rows(parser) -> None:
+    parser.add_argument(
+        "--disk-cache-min-rows",
+        type=int,
+        metavar="N",
+        help="skip the disk cube-cache tier for databases with fewer "
+        "total rows than N (recomputing tiny cubes beats the pickle + "
+        "fsync round-trip; skips are counted in DiskCacheStats)",
+    )
 
 
 def _add_budget_arguments(parser) -> None:
@@ -369,6 +480,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_corpus(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "scrub":
+            return _run_scrub(args)
         return _run_corpus_stats()
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -386,6 +499,7 @@ def _run_check(args) -> int:
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
+        disk_cache_min_rows=args.disk_cache_min_rows,
         claim_deadline=args.claim_deadline,
         max_rows_materialized=args.max_rows_materialized,
         max_cube_cells=args.max_cube_cells,
@@ -445,7 +559,10 @@ def _run_corpus(args) -> int:
     from repro.harness.parallel import RetryPolicy, resolve_workers
 
     workers = resolve_workers(args.workers)
-    config = AggCheckerConfig(cache_dir=args.cache_dir)
+    config = AggCheckerConfig(
+        cache_dir=args.cache_dir,
+        disk_cache_min_rows=args.disk_cache_min_rows,
+    )
     corpus = generate_corpus()
     started = time.perf_counter()
     run = run_corpus(
@@ -521,6 +638,7 @@ def _run_serve(args) -> int:
         backend=ExecutionBackend(args.backend),
         execution_mode=ExecutionMode(args.execution_mode),
         cache_dir=args.cache_dir,
+        disk_cache_min_rows=args.disk_cache_min_rows,
         max_rows_materialized=args.max_rows_materialized,
         max_cube_cells=args.max_cube_cells,
         max_candidates=args.max_candidates,
@@ -571,6 +689,9 @@ def _run_serve(args) -> int:
         request_timeout=args.request_timeout,
         max_request_cost=args.max_request_cost,
         max_rss_mb=args.max_rss_mb,
+        audit_rate=args.audit_rate,
+        audit_backlog=args.audit_backlog,
+        trust_recover_after=args.trust_recover_after,
         verbose=args.verbose,
     )
 
@@ -593,6 +714,51 @@ def _run_serve(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _run_scrub(args) -> int:
+    from repro.audit.scrub import scrub_state
+
+    if not args.cache_dir and not args.queue_dir and not args.checkpoint:
+        print(
+            "error: nothing to scrub; give at least one of --cache-dir, "
+            "--queue-dir, --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    databases = None
+    if args.csv:
+        if not args.cache_dir:
+            print(
+                "error: --csv (semantic validation) requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
+        databases = [
+            Database("cli", [load_csv(path) for path in args.csv])
+        ]
+    report = scrub_state(
+        cache_dir=args.cache_dir,
+        queue_dir=args.queue_dir,
+        checkpoints=args.checkpoint,
+        databases=databases,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for tier in report["tiers"]:
+            fields = ", ".join(
+                f"{key}={value}"
+                for key, value in tier.items()
+                if key not in ("tier", "path")
+            )
+            print(f"{tier['tier']}: {fields}")
+        verdict = "clean" if report["clean"] else (
+            f"CORRUPT: {report['corrupt_total']} record(s)"
+            + (" + truncation" if report["truncated"] else "")
+        )
+        print(f"scrub: {verdict}")
+    return 0 if report["clean"] else 4
 
 
 def _run_corpus_stats() -> int:

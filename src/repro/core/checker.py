@@ -191,6 +191,7 @@ class AggChecker:
             self.config.execution_mode,
             backend=self.config.backend,
             disk_cache=disk_cache,
+            disk_cache_min_rows=self.config.disk_cache_min_rows,
         )
 
     def check_html(self, html: str) -> CheckReport:

@@ -53,6 +53,12 @@ class AggCheckerConfig:
     #: runs: entries are keyed by database *content* fingerprint, so data
     #: edits invalidate automatically.
     cache_dir: str | None = None
+    #: Skip the disk cube-cache tier for databases with fewer total rows
+    #: than this (None = always use it when ``cache_dir`` is set). Tiny
+    #: databases recompute a cube faster than a disk round-trip, so the
+    #: warm disk tier is a net slowdown for them; skips are counted in
+    #: ``DiskCacheStats.skipped_small``.
+    disk_cache_min_rows: int | None = None
     #: Wall-clock execution budget per claim, in seconds (None = no
     #: deadline). A document gets ``claim_deadline * n_claims`` (claims
     #: are verified jointly); when it expires the checker degrades

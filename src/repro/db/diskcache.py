@@ -22,13 +22,23 @@ module adds a filesystem tier:
   never observe torn entries (last writer wins; both payloads are valid).
 
 Corrupt or unreadable entries are treated as misses — a cache must never
-turn an IO hiccup into a pipeline failure. A corrupt *payload* (torn or
-scribbled pickle) is additionally quarantined on the spot: the file is
-renamed to ``<name>.cube.corrupt`` (unlinked if even the rename fails),
-so one bad file costs exactly one recompute-and-rewrite instead of a
-silent perpetual miss. Quarantines are counted in
+turn an IO hiccup into a pipeline failure. A corrupt *payload* (bad magic,
+CRC32 mismatch, or a torn/scribbled pickle) is additionally quarantined on
+the spot: the file is renamed to ``<name>.cube.corrupt`` (unlinked if even
+the rename fails), so one bad file costs exactly one recompute-and-rewrite
+instead of a silent perpetual miss. Quarantines are counted in
 :class:`DiskCacheStats.corrupt` and mirrored into
 ``EngineStats.disk_corrupt`` by every engine sharing the cache.
+
+Format v2 (this revision) adds the audit surface: every file starts with a
+magic tag plus a CRC32 of the pickled payload (single bit flips are now
+*detected*, not just lucky unpickle failures), the payload carries a
+``meta`` block (fingerprint, backend, tables, aggregate spec, dimensions)
+sufficient to *recompute* the stored cells from the source database, and
+file names are prefixed with the owning database fingerprint so
+:meth:`DiskCubeCache.invalidate` can drop one database's entries with a
+glob. See :mod:`repro.audit.scrub` for the offline scrubber that consumes
+:meth:`entries` / :meth:`read_payload` / :meth:`quarantine`.
 """
 
 from __future__ import annotations
@@ -36,8 +46,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 import tempfile
 import weakref
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -46,10 +58,17 @@ from repro.db.cube import CellKey
 from repro.db.query import AggregateSpec, ColumnRef
 from repro.db.schema import Database
 from repro.db.values import Value
+from repro.errors import InjectedFault
 
 #: Bump when the on-disk payload layout changes; old entries become
 #: unreachable (different file names) instead of unreadable.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+#: File preamble: magic tag, then a big-endian CRC32 of the pickled
+#: payload that follows. The magic catches scribbles and foreign files;
+#: the CRC catches bit rot that still unpickles.
+_MAGIC = b"RCUBE2\x00"
+_CRC = struct.Struct(">I")
 
 _SEP = "\x1f"
 _ROW_END = "\x1e"
@@ -122,6 +141,9 @@ class DiskCacheStats:
     errors: int = 0
     #: Corrupt payloads quarantined (a subset of ``errors``).
     corrupt: int = 0
+    #: Engines that skipped the disk tier because their database fell
+    #: below ``disk_cache_min_rows`` (recompute beats a disk round-trip).
+    skipped_small: int = 0
 
 
 class DiskCubeCache:
@@ -161,9 +183,12 @@ class DiskCubeCache:
             ]
         )
 
-    def _path(self, entry_key: str) -> Path:
+    def _path(self, fingerprint: str, entry_key: str) -> Path:
+        # The fingerprint prefix makes per-database invalidation (and the
+        # scrubber's "entries owned by X" query) a filename glob instead
+        # of a read-every-payload scan.
         digest = hashlib.sha256(entry_key.encode("utf-8")).hexdigest()
-        return self.root / f"{digest}.cube"
+        return self.root / f"{fingerprint[:16]}-{digest[:48]}.cube"
 
     def load(
         self,
@@ -176,7 +201,7 @@ class DiskCubeCache:
     ) -> tuple[dict[ColumnRef, set[str]], dict[CellKey, Value]] | None:
         """Return ``(literals, cells)`` covering ``literal_map``, else None."""
         entry_key = self._entry_key(fingerprint, backend, tables, spec, dims)
-        payload = self._read(self._path(entry_key), entry_key)
+        payload = self._read(self._path(fingerprint, entry_key), entry_key)
         if payload is not None:
             literals = payload["literals"]
             covered = all(
@@ -201,7 +226,7 @@ class DiskCubeCache:
     ) -> None:
         """Merge an entry into the directory with an atomic replace."""
         entry_key = self._entry_key(fingerprint, backend, tables, spec, dims)
-        path = self._path(entry_key)
+        path = self._path(fingerprint, entry_key)
         existing = self._read(path, entry_key)
         merged_literals = {dim: set(values) for dim, values in literals.items()}
         merged_cells = dict(cells)
@@ -212,8 +237,26 @@ class DiskCubeCache:
                 merged_literals.setdefault(dim, set()).update(values)
             for key, value in existing["cells"].items():
                 merged_cells.setdefault(key, value)
+        # Fault point (semantic tier): poison a cell value *before* the
+        # CRC is computed — the file is structurally pristine, so only a
+        # recompute-and-compare scrub can catch it.
+        # (``path.stem``, not ``.name``: a ``match="*.cube"`` glob arming
+        # the structural flip below must not also consume fires here.)
+        try:
+            faults.fire("audit.bitflip", key=f"cell:{path.stem}")
+        except InjectedFault:
+            merged_cells = _poison_cells(merged_cells)
         payload = {
             "key": entry_key,
+            # Everything a scrubber needs to recompute the cells from the
+            # source database, without reverse-parsing the entry key.
+            "meta": {
+                "fingerprint": fingerprint,
+                "backend": backend,
+                "tables": tables,
+                "spec": spec,
+                "dims": dims,
+            },
             "literals": merged_literals,
             "cells": merged_cells,
         }
@@ -223,7 +266,12 @@ class DiskCubeCache:
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    body = pickle.dumps(
+                        payload, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    handle.write(_MAGIC)
+                    handle.write(_CRC.pack(zlib.crc32(body)))
+                    handle.write(body)
                 os.replace(tmp_name, path)
             except BaseException:
                 try:
@@ -234,28 +282,31 @@ class DiskCubeCache:
             self.stats.writes += 1
         except OSError:
             self.stats.errors += 1  # full/read-only disk: degrade silently
+            return
+        # Fault point (structural tier): flip one byte of the file just
+        # written — the CRC catches it on the next read.
+        faults.fire("audit.bitflip", key=path.name, payload=path)
 
-    def _read(self, path: Path, entry_key: str) -> dict | None:
+    def _read(self, path: Path, entry_key: str | None = None) -> dict | None:
         faults.fire("diskcache.read", key=path.name, payload=path)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            blob = path.read_bytes()
         except FileNotFoundError:
             return None
         except OSError:
             self.stats.errors += 1  # transient IO: miss, keep the file
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
-            # The payload itself is bad: quarantine so the next store
-            # rewrites a fresh entry instead of missing on it forever.
+        payload = _decode(blob)
+        if payload is None:
+            # Bad magic, CRC mismatch, or a torn pickle: quarantine so the
+            # next store rewrites a fresh entry instead of missing forever.
             self.stats.errors += 1
             self.stats.corrupt += 1
             self._quarantine(path)
             return None
         # SHA-256 collisions are fantasy, but the stored key also guards
         # against format drift and hand-copied cache directories.
-        if not isinstance(payload, dict) or payload.get("key") != entry_key:
+        if entry_key is not None and payload.get("key") != entry_key:
             return None
         return payload
 
@@ -269,6 +320,48 @@ class DiskCubeCache:
             except OSError:
                 self.stats.errors += 1  # truly stuck: next read retries
 
+    # -- audit surface -------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every live entry file, sorted for deterministic scrub order."""
+        return sorted(self.root.glob("*.cube"))
+
+    def paths_for(self, fingerprint: str) -> list[Path]:
+        """Live entries owned by one database fingerprint."""
+        return sorted(self.root.glob(f"{fingerprint[:16]}-*.cube"))
+
+    def read_payload(self, path: Path) -> dict | None:
+        """Structurally validate one entry (corrupt files are quarantined).
+
+        Returns the decoded payload, or None when the file is missing or
+        failed magic/CRC/unpickle validation (counted and quarantined,
+        same as a production read).
+        """
+        return self._read(path)
+
+    def quarantine(self, path: Path) -> None:
+        """Quarantine an entry the *scrubber* proved wrong (bit-identity
+        failure against a recompute) — structural corruption is already
+        quarantined by :meth:`read_payload`."""
+        self.stats.corrupt += 1
+        self._quarantine(path)
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry owned by a database fingerprint.
+
+        Called when the shadow auditor catches a divergence: one proven-bad
+        tier member poisons trust in all of that database's cells, and a
+        recompute is always safe.
+        """
+        removed = 0
+        for path in self.paths_for(fingerprint):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self.stats.errors += 1
+        return removed
+
     def clear(self) -> None:
         """Remove every entry (leaves the directory in place)."""
         for path in self.root.glob("*.cube"):
@@ -276,3 +369,48 @@ class DiskCubeCache:
                 path.unlink()
             except OSError:
                 self.stats.errors += 1
+
+
+def _decode(blob: bytes) -> dict | None:
+    """Validate magic + CRC framing and unpickle; None on any corruption."""
+    if not blob.startswith(_MAGIC) or len(blob) < len(_MAGIC) + _CRC.size:
+        return None
+    offset = len(_MAGIC)
+    (crc,) = _CRC.unpack_from(blob, offset)
+    body = blob[offset + _CRC.size:]
+    if zlib.crc32(body) != crc:
+        return None
+    try:
+        payload = pickle.loads(body)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def _poison_cells(cells: dict[CellKey, Value]) -> dict[CellKey, Value]:
+    """Corrupt one cell value (the ``audit.bitflip`` semantic action).
+
+    Prefers a cell outside the default bucket: default-bucket values are
+    legitimately irreproducible from a merged literal set, so the
+    scrubber skips them — poisoning one would be undetectable by design.
+    """
+    from repro.db.values import DEFAULT_LITERAL
+
+    ordered = sorted(cells, key=repr)
+    candidates = [
+        key
+        for key in ordered
+        if not any(part == DEFAULT_LITERAL for part in key)
+    ] or ordered
+    poisoned = dict(cells)
+    for key in candidates:
+        value = poisoned[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            poisoned[key] = 1  # None/str/bool: any wrong-typed stand-in
+        else:
+            poisoned[key] = value + 1
+        break
+    return poisoned

@@ -124,6 +124,20 @@ class EngineStats:
     #: Claims reported as unverifiable because a space budget was
     #: exceeded before inference could run at all (rung 4).
     budget_unverifiable: int = 0
+    #: Acked verdicts re-verified by the shadow auditor against the
+    #: NAIVE/row-wise oracle with every cache tier bypassed.
+    audit_checks: int = 0
+    #: Audited verdicts whose served payload diverged from the oracle's.
+    audit_divergences: int = 0
+    #: Poisoned incremental-memo entries replaced with the oracle verdict
+    #: after a divergence (the self-healing half of the audit loop).
+    audit_repairs: int = 0
+    #: Disk cube-cache cells recomputed and compared bit-exact by the
+    #: online scrubber or ``repro scrub``.
+    audit_cell_scrubs: int = 0
+    #: Scrubbed cells that failed the bit-identity comparison and were
+    #: quarantined (``*.corrupt``).
+    audit_cell_mismatches: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -189,12 +203,25 @@ class QueryEngine:
         paper_max_predicates: int = 3,
         backend: ExecutionBackend = ExecutionBackend.COLUMNAR,
         disk_cache: "DiskCubeCache | None" = None,
+        disk_cache_min_rows: int | None = None,
     ) -> None:
         self.database = database
         self.mode = mode
         self.cover_strategy = cover_strategy
         self.paper_max_predicates = paper_max_predicates
         self.backend = backend
+        # Tiny databases recompute a cube faster than a disk round-trip
+        # (the 0.62x warm-cache regression in BENCH_pipeline.json): below
+        # the row threshold the disk tier is skipped outright, counted so
+        # operators can see the decision.
+        if (
+            disk_cache is not None
+            and disk_cache_min_rows is not None
+            and sum(len(table.rows) for table in database.tables)
+            < disk_cache_min_rows
+        ):
+            disk_cache.stats.skipped_small += 1
+            disk_cache = None
         self.join_graph = JoinGraph(database, backend=backend)
         self.cache = ResultCache()
         self.disk_cache = disk_cache

@@ -163,6 +163,21 @@ class RateLimitedError(ReproError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class StreamInterruptedError(ReproError):
+    """An NDJSON response stream ended before its terminal event.
+
+    The wire protocol is HTTP/1.0 with close-delimited bodies, so a
+    server crash mid-stream is indistinguishable from normal end-of-body
+    at the socket layer; completeness is judged by content — the last
+    event must be a ``summary`` (or a request-level ``error``). Carries
+    the events received so far so callers can salvage partial verdicts.
+    """
+
+    def __init__(self, message: str, events: list | None = None) -> None:
+        super().__init__(message)
+        self.events = events if events is not None else []
+
+
 class QueueFullError(ReproError):
     """The durable job queue is at capacity (maps to HTTP 429).
 

@@ -35,12 +35,24 @@ Fire points (``fire(point, key, payload)`` is a no-op unless armed):
   cost, fired during cost-based admission in the async front end
   (``raise`` is translated into
   :class:`~repro.errors.AdmissionRejectedError` — a structured 413 —
-  exercising the rejection path under normal load).
+  exercising the rejection path under normal load);
+- ``audit.bitflip``   — the integrity-audit corruption points, one per
+  persisted/served tier, distinguished by key prefix: ``cell:<stem>``
+  (``raise`` → poison a cube cell value *before* the CRC is computed — a
+  semantic corruption only a recompute can catch), ``<file>.cube``
+  (``bitflip`` → flip a byte of the written cache file; the CRC catches
+  it), ``memo:<fingerprint>`` (``raise`` → poison an incremental-memo
+  payload after its CRC is taken), ``verdict:<group>`` (``raise`` → flip
+  a verdict payload just before it is acked/memoized — the wrong-verdict
+  driver the shadow auditor must catch), ``journal`` / the checkpoint
+  file name (``bitflip`` on the file after a write).
 
 Actions: ``kill`` (``os._exit``, simulating SIGKILL/OOM), ``raise``
 (:class:`~repro.errors.InjectedFault`), ``sleep`` (consume ``seconds`` of
 wall clock, for deadline tests), ``corrupt`` (scribble over the payload
-path before it is read). Each spec fires at most ``times`` times
+path before it is read), ``bitflip`` (XOR one byte in the middle of the
+payload path — survives framing, caught only by checksums or recompute
+comparison). Each spec fires at most ``times`` times
 (0 = unlimited) — "at most N times **across processes**" is arbitrated
 through ``O_EXCL`` marker files in a shared state directory, so a kill
 fault consumed by the first worker does not re-fire on the retry.
@@ -69,7 +81,7 @@ ENV_STATE = "REPRO_FAULT_STATE"
 
 _FIELD_SEP = "|"
 _SPEC_SEP = ";"
-_ACTIONS = frozenset({"kill", "raise", "sleep", "corrupt"})
+_ACTIONS = frozenset({"kill", "raise", "sleep", "corrupt", "bitflip"})
 
 #: Exit code of a ``kill`` action — distinctive in worker-death tests.
 KILL_EXIT_CODE = 70
@@ -185,6 +197,21 @@ class FaultInjector:
                 path = Path(payload)
                 if path.exists():
                     path.write_bytes(b"\x00repro injected corruption\x00")
+        elif spec.action == "bitflip":
+            # One flipped byte mid-file: framing survives, the content
+            # lies. Only a checksum (or recompute) can tell.
+            if isinstance(payload, (str, Path)):
+                path = Path(payload)
+                try:
+                    data = bytearray(path.read_bytes())
+                except OSError:
+                    return
+                if data:
+                    data[len(data) // 2] ^= 0x40
+                    try:
+                        path.write_bytes(bytes(data))
+                    except OSError:
+                        pass
         elif spec.action == "kill":
             # Simulate SIGKILL/OOM: no cleanup, no exception propagation.
             os._exit(KILL_EXIT_CODE)

@@ -2,16 +2,26 @@
 
 A long corpus run killed halfway (machine reboot, OOM, Ctrl-C) should not
 repeat the cases it already finished. The runner writes one checkpoint
-file after every completed shard (parallel) or case (sequential):
-an atomically-replaced pickle of the per-case results and the quarantine
-list, stamped with the work's identity — a configuration digest plus one
-digest per case (document identity, claim count, database content
-fingerprint). ``--resume`` refuses a checkpoint whose digests disagree
-with the current run (resuming someone else's run, or the same corpus
-under different knobs, would silently mix results). The comparison is
-*prefix-based*: a run checkpointed under ``--limit 20`` resumes cleanly
-into the full corpus, and a resumed run under a smaller limit simply
-ignores results beyond it.
+file after every completed shard (parallel) or case (sequential): an
+atomically-replaced record stream of the per-case results and the
+quarantine list, stamped with the work's identity — a configuration
+digest plus one digest per case (document identity, claim count, database
+content fingerprint). ``--resume`` refuses a checkpoint whose digests
+disagree with the current run (resuming someone else's run, or the same
+corpus under different knobs, would silently mix results). The comparison
+is *prefix-based*: a run checkpointed under ``--limit 20`` resumes
+cleanly into the full corpus, and a resumed run under a smaller limit
+simply ignores results beyond it.
+
+Format v3 frames each record with a CRC32 (mirroring the queue journal's
+v2 design): a magic line, then ``crc32(payload) ++ len(payload) ++
+payload`` per record, where record 0 is the identity header and every
+further record is one pickled ``("result", index, CaseResult)`` or
+``("quarantine", index, error)`` tuple. A truncated tail (torn write)
+silently ends the readable prefix; an *intact* frame whose CRC or pickle
+fails is skipped and counted (``corrupt_records``) so a single flipped
+bit costs one recomputed case, never the whole run. Only a corrupt
+header — the part that proves whose work this is — refuses the resume.
 
 Checkpointed results are the pickled :class:`~repro.harness.metrics.CaseResult`
 objects themselves — exactly what worker processes already ship back —
@@ -24,10 +34,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro import faults
 from repro.errors import CheckpointError
 
 if TYPE_CHECKING:
@@ -36,7 +49,12 @@ if TYPE_CHECKING:
     from repro.harness.metrics import CaseResult
 
 #: Bump when the checkpoint payload layout changes.
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+
+#: First bytes of every v3 checkpoint file.
+_MAGIC = b"RCKPT3\n"
+#: Per-record frame header: CRC32 of the payload, then its length.
+_FRAME = struct.Struct(">II")
 
 
 def _digest(text: str) -> str:
@@ -75,6 +93,75 @@ def corpus_signature(
     )
 
 
+def _frame(obj: object) -> bytes:
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME.pack(zlib.crc32(body), len(body)) + body
+
+
+def _iter_frames(blob: bytes, offset: int):
+    """Yield ``(status, obj)`` per frame: ``"ok"``, ``"corrupt"`` (intact
+    frame, bad CRC/pickle — skippable), or ``"truncated"`` (torn tail —
+    iteration ends)."""
+    while offset < len(blob):
+        if offset + _FRAME.size > len(blob):
+            yield "truncated", None
+            return
+        crc, length = _FRAME.unpack_from(blob, offset)
+        offset += _FRAME.size
+        if offset + length > len(blob):
+            yield "truncated", None
+            return
+        body = blob[offset:offset + length]
+        offset += length
+        if zlib.crc32(body) != crc:
+            yield "corrupt", None
+            continue
+        try:
+            yield "ok", pickle.loads(body)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            yield "corrupt", None
+
+
+def scan_checkpoint(path: str | Path) -> dict:
+    """Read-only structural scrub of one checkpoint file.
+
+    Never compares identity signatures (that is ``--resume``'s job) —
+    this reports framing health for ``repro scrub``: record counts, CRC
+    failures, and torn tails. A corrupt checkpoint is *repaired* by a
+    resumed run, which skips the bad records, recomputes those cases, and
+    atomically rewrites the file.
+    """
+    path = Path(path)
+    report = {
+        "path": str(path),
+        "present": True,
+        "format_ok": True,
+        "records": 0,
+        "corrupt": 0,
+        "truncated": False,
+    }
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        report["present"] = False
+        return report
+    except OSError:
+        report["format_ok"] = False
+        return report
+    if not blob.startswith(_MAGIC):
+        report["format_ok"] = False
+        return report
+    for status, _obj in _iter_frames(blob, len(_MAGIC)):
+        if status == "truncated":
+            report["truncated"] = True
+        elif status == "corrupt":
+            report["corrupt"] += 1
+        else:
+            report["records"] += 1
+    return report
+
+
 class CorpusCheckpoint:
     """One checkpoint file bound to one run's work identity."""
 
@@ -87,40 +174,58 @@ class CorpusCheckpoint:
         self.path = Path(path)
         self.config_sig = config_sig
         self.case_sigs = case_sigs
+        #: Intact-but-corrupt records skipped by the last :meth:`load`
+        #: (each costs one recomputed case on resume).
+        self.corrupt_records = 0
+        #: Whether the last :meth:`load` hit a torn tail.
+        self.truncated = False
 
     def load(self) -> "tuple[dict[int, CaseResult], dict[int, str]]":
         """Saved ``(results, quarantined)``; empty when no file exists.
 
-        Raises :class:`CheckpointError` for an unreadable file or an
+        Raises :class:`CheckpointError` for an unreadable header or an
         identity mismatch — resuming must never silently merge results
         from different work. Case identity is compared over the common
         prefix, so the checkpoint and the current run may use different
         ``--limit`` values; results beyond the current case list are
-        dropped.
+        dropped. Corrupt *body* records (CRC or pickle failure on an
+        intact frame) and torn tails degrade to recomputing those cases,
+        counted in :attr:`corrupt_records` / :attr:`truncated`.
         """
+        self.corrupt_records = 0
+        self.truncated = False
         try:
-            with self.path.open("rb") as handle:
-                payload = pickle.load(handle)
+            blob = self.path.read_bytes()
         except FileNotFoundError:
             return {}, {}
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError) as error:
+        except OSError as error:
             raise CheckpointError(
                 f"unreadable checkpoint {self.path}: {error}"
             ) from error
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != CHECKPOINT_VERSION
-        ):
+        if not blob.startswith(_MAGIC):
+            # Garbage and pre-v3 checkpoints are indistinguishable here;
+            # the message covers both readings.
+            raise CheckpointError(
+                f"checkpoint {self.path} is unreadable: missing v"
+                f"{CHECKPOINT_VERSION} magic (unknown format)"
+            )
+        frames = _iter_frames(blob, len(_MAGIC))
+        status, header = next(frames, ("truncated", None))
+        if status != "ok" or not isinstance(header, dict):
+            # Without the header we cannot prove whose work this is.
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path}: corrupt header"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path} has an unknown format"
             )
-        if payload.get("config") != self.config_sig:
+        if header.get("config") != self.config_sig:
             raise CheckpointError(
                 f"checkpoint {self.path} was written under a different "
                 "configuration; delete it (or drop --resume) to start over"
             )
-        recorded = list(payload.get("cases", []))
+        recorded = list(header.get("cases", []))
         common = min(len(recorded), len(self.case_sigs))
         if recorded[:common] != self.case_sigs[:common]:
             raise CheckpointError(
@@ -128,16 +233,25 @@ class CorpusCheckpoint:
                 "corpus; delete it (or drop --resume) to start over"
             )
         n_cases = len(self.case_sigs)
-        results = {
-            index: result
-            for index, result in payload["results"].items()
-            if index < n_cases
-        }
-        quarantined = {
-            index: error
-            for index, error in payload["quarantined"].items()
-            if index < n_cases
-        }
+        results: dict[int, "CaseResult"] = {}
+        quarantined: dict[int, str] = {}
+        for status, record in frames:
+            if status == "truncated":
+                self.truncated = True
+                break
+            if status == "corrupt":
+                self.corrupt_records += 1
+                continue
+            if not (isinstance(record, tuple) and len(record) == 3):
+                self.corrupt_records += 1
+                continue
+            kind, index, value = record
+            if not isinstance(index, int) or index >= n_cases:
+                continue
+            if kind == "result":
+                results[index] = value
+            elif kind == "quarantine":
+                quarantined[index] = value
         return results, quarantined
 
     def save(
@@ -146,12 +260,10 @@ class CorpusCheckpoint:
         quarantined: dict[int, str],
     ) -> None:
         """Atomically replace the checkpoint with the current state."""
-        payload = {
+        header = {
             "version": CHECKPOINT_VERSION,
             "config": self.config_sig,
             "cases": self.case_sigs,
-            "results": results,
-            "quarantined": quarantined,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -159,7 +271,14 @@ class CorpusCheckpoint:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(_MAGIC)
+                handle.write(_frame(header))
+                for index in sorted(results):
+                    handle.write(_frame(("result", index, results[index])))
+                for index in sorted(quarantined):
+                    handle.write(
+                        _frame(("quarantine", index, quarantined[index]))
+                    )
             os.replace(tmp_name, self.path)
         except BaseException:
             try:
@@ -167,6 +286,9 @@ class CorpusCheckpoint:
             except OSError:
                 pass
             raise
+        # Fault point: flip a byte of the checkpoint just written (the
+        # scrub CLI and resume path must detect and survive it).
+        faults.fire("audit.bitflip", key=self.path.name, payload=self.path)
 
 
 def open_checkpoint(

@@ -12,13 +12,14 @@ no third-party HTTP stack.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
 import urllib.error
 import urllib.request
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StreamInterruptedError
 from repro.harness.parallel import RetryPolicy
 
 
@@ -52,13 +53,25 @@ class ServiceClient:
 
         Retries ``429`` responses up to ``retry.max_attempts`` times,
         waiting the server's ``Retry-After`` plus jitter between tries;
-        exhausting the budget raises :class:`ReproError`.
+        exhausting the budget raises :class:`ReproError`. A connection
+        lost mid-stream (server crash, socket reset, truncated body)
+        raises :class:`StreamInterruptedError` and is retried on the
+        same budget — resubmission after a restart is near-free because
+        completed verdicts land in the server's incremental tier.
         """
         body = json.dumps(payload).encode("utf-8")
         previous = 0.0
         for attempt in range(1, self.retry.max_attempts + 1):
             try:
                 return self._post_check(body)
+            except StreamInterruptedError:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                self.retries += 1
+                previous = self.retry.sleep_seconds(
+                    attempt, previous=previous or None, rng=self._rng
+                )
+                self._sleep(previous)
             except urllib.error.HTTPError as error:
                 if error.code != 429:
                     detail = _error_detail(error)
@@ -89,11 +102,44 @@ class ServiceClient:
             f"{self.base_url}/check", data=body, headers=headers
         )
         events: list[dict] = []
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            for line in response:
-                line = line.strip()
-                if line:
-                    events.append(json.loads(line))
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except ValueError as error:
+                        # A torn frame: the connection died mid-line.
+                        raise StreamInterruptedError(
+                            "response stream ended inside an NDJSON frame "
+                            f"after {len(events)} event(s)",
+                            events,
+                        ) from error
+        except urllib.error.HTTPError:
+            raise  # handled by check(); not a transport failure
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            OSError,
+        ) as error:
+            raise StreamInterruptedError(
+                f"connection lost after {len(events)} event(s): {error}",
+                events,
+            ) from error
+        if not _is_complete(events):
+            # HTTP/1.0 close-delimited bodies make a server crash look
+            # like a clean EOF — completeness is judged by content.
+            raise StreamInterruptedError(
+                f"response stream truncated after {len(events)} event(s): "
+                "no terminal summary event",
+                events,
+            )
         return events
 
     def _get(self, path: str) -> dict:
@@ -110,6 +156,21 @@ class ServiceClient:
 
     def deadletter(self) -> dict:
         return self._get("/deadletter")
+
+
+def _is_complete(events: list[dict]) -> bool:
+    """A stream is complete iff its last event is terminal.
+
+    Terminal events: the ``summary`` (normal completion) or an
+    index-less ``error`` (request-level abort — the server said so
+    explicitly, nothing more was coming).
+    """
+    if not events:
+        return False
+    last = events[-1]
+    if last.get("event") == "summary":
+        return True
+    return last.get("event") == "error" and "index" not in last
 
 
 def _retry_after_seconds(error: urllib.error.HTTPError) -> float:

@@ -29,6 +29,15 @@ to the warm path by construction.
 The cache is a bounded, thread-safe LRU: the service is a long-running
 process and documents churn, so least-recently-used verdicts fall out
 once ``max_entries`` is reached.
+
+**Self-checking entries.** Each stored payload carries a CRC32 of its
+canonical JSON encoding (:func:`repro.service.protocol.payload_crc`),
+re-verified on every hit: a memo whose bytes no longer match what was
+stored (bit rot, or any accidental in-place mutation of the shared dict)
+is dropped and counted (``corrupted``) — the miss recomputes a correct
+verdict, so this tier can serve stale *nothing*, wrong *nothing*. The
+shadow auditor additionally *replaces* entries it proved divergent with
+the oracle's payload (see :mod:`repro.audit.shadow`).
 """
 
 from __future__ import annotations
@@ -38,7 +47,10 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import faults
 from repro.core.config import AggCheckerConfig
+from repro.errors import InjectedFault
+from repro.service.protocol import payload_crc
 
 #: Result-cache key: (scope fingerprint, claim fingerprint).
 ResultKey = tuple[str, str]
@@ -82,6 +94,9 @@ class IncrementalStats:
     evictions: int = 0
     #: Degraded (deadline-shaped) payloads refused by :meth:`put`.
     skipped: int = 0
+    #: Entries dropped on hit because their payload no longer matched its
+    #: stored CRC (served as a miss; the recompute is always correct).
+    corrupted: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -97,17 +112,31 @@ class IncrementalCache:
         self.max_entries = max_entries
         self.stats = IncrementalStats()
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[ResultKey, dict]" = OrderedDict()
+        #: key -> (payload, CRC32 of the payload at store time).
+        self._entries: "OrderedDict[ResultKey, tuple[dict, int]]" = (
+            OrderedDict()
+        )
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def get(self, key: ResultKey) -> dict | None:
-        """The cached verdict payload for ``key`` (marks it most recent)."""
+        """The cached verdict payload for ``key`` (marks it most recent).
+
+        Every hit is integrity-checked against the CRC taken at store
+        time; a mismatch drops the entry and reports a miss, so the
+        caller recomputes instead of serving a corrupted verdict.
+        """
         with self._lock:
-            payload = self._entries.get(key)
-            if payload is None:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            payload, crc = entry
+            if payload_crc(payload) != crc:
+                del self._entries[key]
+                self.stats.corrupted += 1
                 self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -123,14 +152,27 @@ class IncrementalCache:
             with self._lock:
                 self.stats.skipped += 1
             return
+        crc = payload_crc(payload)
+        # Fault point: poison the payload *after* its CRC was taken — the
+        # next get() must detect the mismatch and degrade to a miss.
+        try:
+            faults.fire("audit.bitflip", key=f"memo:{key[0]}")
+        except InjectedFault:
+            payload = dict(payload)
+            payload["probability_correct"] = -1.0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = payload
+            self._entries[key] = (payload, crc)
             self.stats.stores += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def remove(self, key: ResultKey) -> bool:
+        """Drop one entry (the shadow auditor's repair path)."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         with self._lock:

@@ -40,6 +40,7 @@ exactly).
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -303,6 +304,22 @@ def verdict_payload(verdict: ClaimVerdict) -> dict:
     if verdict.degraded is not None:
         payload["degraded"] = verdict.degraded
     return payload
+
+
+def payload_crc(payload: dict) -> int:
+    """CRC32 of a verdict payload's canonical JSON encoding.
+
+    Canonical = sorted keys, no whitespace, ``default=str`` for the odd
+    non-JSON value (inf/nan round-trip via repr). The incremental memo
+    tier stores this next to each cached payload and re-verifies it on
+    every hit, so an in-memory bit flip (or any post-store mutation of a
+    shared payload dict) is detected and degrades to a recompute instead
+    of serving a corrupted verdict.
+    """
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return zlib.crc32(body.encode("utf-8", "surrogatepass"))
 
 
 def claim_event(index: int, payload: dict, cached: bool) -> dict:

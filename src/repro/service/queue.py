@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import faults
 from repro.errors import QueueFullError, ReproError
 from repro.harness.parallel import RetryPolicy
 
@@ -94,6 +95,44 @@ def _encode_record(record: dict) -> str:
     stamped = dict(record)
     stamped["crc"] = _record_crc(record)
     return json.dumps(stamped, separators=(",", ":")) + "\n"
+
+
+def scan_journal(path: str | Path) -> dict:
+    """Read-only structural scrub of one journal file (``repro scrub``).
+
+    Replicates replay's corruption taxonomy — truncated tail stops the
+    scan, an intact line with a bad CRC is counted and skipped — without
+    constructing a queue (which would replay, compact, and *rewrite* the
+    file; a scrubber must never mutate the state it is auditing).
+    """
+    report = {
+        "path": str(path),
+        "present": True,
+        "records": 0,
+        "corrupt": 0,
+        "truncated": False,
+    }
+    try:
+        raw = Path(path).read_bytes()
+    except FileNotFoundError:
+        report["present"] = False
+        return report
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            report["corrupt"] += 1
+            report["truncated"] = True
+            break
+        if not isinstance(record, dict) or record.pop(
+            "crc", None
+        ) != _record_crc(record):
+            report["corrupt"] += 1
+            continue
+        report["records"] += 1
+    return report
 
 # Job lifecycle states.
 PENDING = "pending"
@@ -292,6 +331,9 @@ class DurableJobQueue:
         if self.fsync:
             os.fsync(self._journal.fileno())
         self._journal_records += 1
+        # Fault point: flip one byte of the journal after the append —
+        # replay's CRC (and the offline scrubber) must catch it.
+        faults.fire("audit.bitflip", key="journal", payload=self.journal_path)
 
     def _should_compact(self) -> bool:
         live = sum(

@@ -473,6 +473,7 @@ class VerificationService:
             stores=cache_stats.stores,
             evictions=cache_stats.evictions,
             skipped=cache_stats.skipped,
+            corrupted=cache_stats.corrupted,
         )
         return payload
 

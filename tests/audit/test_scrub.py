@@ -1,0 +1,390 @@
+"""Offline integrity scrub: every persisted tier, every corruption class.
+
+Each tier's contract: structural corruption (bit flips under the CRC
+framing) is *detected and contained* (quarantine / skip / truncated-tail
+stop), semantic corruption (a cell poisoned before its checksum was
+taken) is caught only by the recompute pass — and a second scrub over
+the repaired state reports clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.audit.scrub import (
+    _bit_equal,
+    scrub_checkpoint,
+    scrub_disk_cache,
+    scrub_journal,
+    scrub_state,
+)
+from repro.db import Column, ColumnType, Database, DiskCubeCache, QueryEngine, Table
+from repro.db.diskcache import fingerprint_of
+from repro.db.engine import EngineStats
+from repro.faults import FaultSpec, active
+from repro.harness.checkpoint import CorpusCheckpoint, scan_checkpoint
+from repro.service.queue import _encode_record, scan_journal
+
+
+def small_db(rows=None) -> Database:
+    table = Table(
+        "events",
+        [Column("kind"), Column("score", ColumnType.NUMERIC)],
+        rows
+        if rows is not None
+        else [("a", 1), ("a", 2), ("b", 3), (None, 4)],
+    )
+    return Database("d", [table])
+
+
+def count_by_kind(db):
+    from repro.db import parse_query
+
+    return parse_query("SELECT Count(*) FROM events WHERE kind = 'a'", db)
+
+
+def warm_cache(tmp_path, db=None):
+    db = db or small_db()
+    QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+        [count_by_kind(db)]
+    )
+    return db
+
+
+class TestBitEqual:
+    def test_type_strict(self):
+        assert not _bit_equal(1, 1.0)
+        assert not _bit_equal(True, 1)
+        assert _bit_equal(1, 1)
+
+    def test_float_reprs(self):
+        assert _bit_equal(0.1 + 0.2, 0.30000000000000004)
+        assert not _bit_equal(0.3, 0.1 + 0.2)
+        assert not _bit_equal(0.0, -0.0)
+        assert _bit_equal(float("nan"), float("nan"))
+
+
+class TestBitflipAction:
+    @pytest.mark.faults
+    def test_bitflip_flips_one_middle_byte(self, tmp_path):
+        from repro.faults import fire
+
+        target = tmp_path / "victim.bin"
+        original = bytes(range(16))
+        target.write_bytes(original)
+        with active(FaultSpec("audit.bitflip", "bitflip", match="victim*")):
+            fire("audit.bitflip", key="victim.bin", payload=target)
+        flipped = target.read_bytes()
+        assert len(flipped) == len(original)
+        assert flipped != original
+        diffs = [i for i, (a, b) in enumerate(zip(original, flipped)) if a != b]
+        assert diffs == [len(original) // 2]
+        assert flipped[diffs[0]] == original[diffs[0]] ^ 0x40
+
+
+class TestDiskCacheStructural:
+    @pytest.mark.faults
+    def test_injected_bitflip_is_caught_by_the_crc(self, tmp_path):
+        # Flip one byte of the entry file after the atomic write: framing
+        # still parses as far as the magic goes, but the CRC disagrees.
+        db = small_db()
+        with active(FaultSpec("audit.bitflip", "bitflip", match="*.cube")):
+            warm_cache(tmp_path, db)
+        cache = DiskCubeCache(tmp_path)
+        engine = QueryEngine(db, disk_cache=cache)
+        results = engine.evaluate([count_by_kind(db)])
+        assert results[count_by_kind(db)] == 2  # recomputed, still right
+        assert cache.stats.corrupt == 1
+        assert engine.stats.disk_corrupt == 1
+        assert list(tmp_path.glob("*.cube.corrupt"))
+
+    def test_scrub_quarantines_structural_corruption(self, tmp_path):
+        warm_cache(tmp_path)
+        [entry] = list(tmp_path.glob("*.cube"))
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0x01
+        entry.write_bytes(bytes(blob))
+        report = scrub_disk_cache(tmp_path)
+        assert report["scanned"] == 1
+        assert report["structural_corrupt"] == 1
+        assert report["quarantined"] == 1
+        assert not list(tmp_path.glob("*.cube"))
+        # Second pass: nothing live, prior quarantine still visible.
+        again = scrub_disk_cache(tmp_path)
+        assert again["corrupt"] == 0
+        assert again["previously_quarantined"] == 1
+
+    def test_scrub_without_databases_is_structural_only(self, tmp_path):
+        warm_cache(tmp_path)
+        report = scrub_disk_cache(tmp_path)
+        assert report["ok"] == report["scanned"] == 1
+        assert report["skipped_semantic"] == 1
+        assert report["corrupt"] == 0
+
+
+class TestDiskCacheSemantic:
+    @pytest.mark.faults
+    def test_poisoned_cell_survives_crc_but_not_recompute(self, tmp_path):
+        # The cell is corrupted BEFORE the checksum is computed: the file
+        # is structurally pristine and only the recompute catches it.
+        db = small_db()
+        with active(FaultSpec("audit.bitflip", "raise", match="cell:*")):
+            warm_cache(tmp_path, db)
+        structural = scrub_disk_cache(tmp_path)
+        assert structural["corrupt"] == 0  # CRC is (correctly) silent
+        semantic = scrub_disk_cache(tmp_path, [db])
+        assert semantic["semantic_mismatch"] == 1
+        assert semantic["quarantined"] == 1
+        assert not list(tmp_path.glob("*.cube"))
+
+    def test_clean_entries_pass_the_recompute(self, tmp_path):
+        db = warm_cache(tmp_path)
+        report = scrub_disk_cache(tmp_path, [db])
+        assert report["ok"] == report["scanned"] == 1
+        assert report["skipped_semantic"] == 0
+        assert report["corrupt"] == 0
+
+    def test_unknown_fingerprint_skips_semantic(self, tmp_path):
+        warm_cache(tmp_path)
+        other = small_db([("z", 9)])
+        report = scrub_disk_cache(tmp_path, [other])
+        assert report["skipped_semantic"] == 1
+        assert report["corrupt"] == 0
+
+
+class TestInvalidateAndMinRows:
+    def test_invalidate_drops_only_the_owning_database(self, tmp_path):
+        db_a = warm_cache(tmp_path)
+        db_b = small_db([("a", 1), ("b", 2), ("b", 3)])
+        warm_cache(tmp_path, db_b)
+        cache = DiskCubeCache(tmp_path)
+        assert len(cache.entries()) == 2
+        removed = cache.invalidate(fingerprint_of(db_a))
+        assert removed == 1
+        assert cache.paths_for(fingerprint_of(db_a)) == []
+        assert len(cache.paths_for(fingerprint_of(db_b))) == 1
+
+    def test_min_rows_threshold_skips_the_disk_tier(self, tmp_path):
+        db = small_db()  # 4 rows
+        cache = DiskCubeCache(tmp_path)
+        engine = QueryEngine(db, disk_cache=cache, disk_cache_min_rows=100)
+        results = engine.evaluate([count_by_kind(db)])
+        assert results[count_by_kind(db)] == 2
+        assert cache.stats.skipped_small == 1
+        assert engine.stats.disk_hits == engine.stats.disk_misses == 0
+        assert not list(tmp_path.glob("*.cube"))
+
+    def test_min_rows_threshold_admits_large_databases(self, tmp_path):
+        db = small_db()
+        cache = DiskCubeCache(tmp_path)
+        engine = QueryEngine(db, disk_cache=cache, disk_cache_min_rows=4)
+        engine.evaluate([count_by_kind(db)])
+        assert cache.stats.skipped_small == 0
+        assert list(tmp_path.glob("*.cube"))
+
+    def test_stats_field_exists(self):
+        assert EngineStats().audit_checks == 0
+        assert EngineStats().audit_cell_mismatches == 0
+
+
+class TestCheckpointFraming:
+    SIGS = ["s0", "s1", "s2"]
+
+    def _store(self, tmp_path) -> CorpusCheckpoint:
+        return CorpusCheckpoint(tmp_path / "run.ckpt", "cfg", list(self.SIGS))
+
+    def test_roundtrip(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save({0: "r0", 1: "r1"}, {2: "boom"})
+        results, quarantined = self._store(tmp_path).load()
+        assert results == {0: "r0", 1: "r1"}
+        assert quarantined == {2: "boom"}
+
+    def test_truncated_tail_keeps_the_prefix(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save({0: "r0", 1: "r1"}, {})
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(path.read_bytes()[:-3])
+        fresh = self._store(tmp_path)
+        results, _ = fresh.load()
+        assert results == {0: "r0"}
+        assert fresh.truncated
+
+    def test_bitflipped_record_is_skipped_and_counted(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save({0: "r0"}, {})
+        short = (tmp_path / "run.ckpt").read_bytes()
+        store.save({0: "r0", 1: "r1"}, {})
+        blob = bytearray((tmp_path / "run.ckpt").read_bytes())
+        # Flip a byte inside record 1 (everything past the shorter file).
+        blob[len(short) + 10] ^= 0x40
+        (tmp_path / "run.ckpt").write_bytes(bytes(blob))
+        fresh = self._store(tmp_path)
+        results, _ = fresh.load()
+        assert results == {0: "r0"}  # record 1 degraded to a recompute
+        assert fresh.corrupt_records == 1
+        assert not fresh.truncated
+
+    def test_corrupt_header_refuses_the_resume(self, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.harness.checkpoint import _MAGIC
+
+        store = self._store(tmp_path)
+        store.save({0: "r0"}, {})
+        blob = bytearray((tmp_path / "run.ckpt").read_bytes())
+        blob[len(_MAGIC) + 6] ^= 0x40  # inside the header frame
+        (tmp_path / "run.ckpt").write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="corrupt header"):
+            self._store(tmp_path).load()
+
+    def test_scan_reports_framing_health(self, tmp_path):
+        store = self._store(tmp_path)
+        store.save({0: "r0", 1: "r1"}, {2: "boom"})
+        scan = scan_checkpoint(tmp_path / "run.ckpt")
+        assert scan["format_ok"]
+        assert scan["records"] == 4  # header + 2 results + 1 quarantine
+        assert scan["corrupt"] == 0 and not scan["truncated"]
+
+    def test_scan_flags_missing_and_foreign_files(self, tmp_path):
+        missing = scan_checkpoint(tmp_path / "nope.ckpt")
+        assert not missing["present"]
+        foreign = tmp_path / "foreign.ckpt"
+        foreign.write_bytes(b"not a checkpoint")
+        assert not scan_checkpoint(foreign)["format_ok"]
+
+    @pytest.mark.faults
+    def test_save_fires_the_bitflip_point(self, tmp_path):
+        store = self._store(tmp_path)
+        with active(FaultSpec("audit.bitflip", "bitflip", match="run.ckpt")):
+            store.save({0: "r0"}, {})
+        scan = scan_checkpoint(tmp_path / "run.ckpt")
+        assert scan["corrupt"] == 1 or not scan["format_ok"]
+
+
+class TestJournalScan:
+    def _write(self, tmp_path, lines: list[str]):
+        path = tmp_path / "queue.journal"
+        path.write_text("".join(lines), encoding="utf-8")
+        return path
+
+    def _records(self):
+        return [
+            _encode_record({"op": "put", "id": f"j{i}", "payload": {"x": i}})
+            for i in range(3)
+        ]
+
+    def test_clean_journal(self, tmp_path):
+        path = self._write(tmp_path, self._records())
+        scan = scan_journal(path)
+        assert scan["records"] == 3
+        assert scan["corrupt"] == 0 and not scan["truncated"]
+
+    def test_interior_bitflip_is_counted_and_skipped(self, tmp_path):
+        lines = self._records()
+        lines[1] = lines[1].replace('"x":1', '"x":7')  # valid JSON, bad CRC
+        scan = scan_journal(self._write(tmp_path, lines))
+        assert scan["records"] == 2
+        assert scan["corrupt"] == 1 and not scan["truncated"]
+
+    def test_truncated_tail_stops_the_scan(self, tmp_path):
+        lines = self._records()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # torn final append
+        scan = scan_journal(self._write(tmp_path, lines))
+        assert scan["records"] == 2
+        assert scan["truncated"]
+
+    def test_missing_journal(self, tmp_path):
+        scan = scan_journal(tmp_path / "queue.journal")
+        assert not scan["present"]
+        assert scan["records"] == 0
+
+    def test_scan_never_mutates_the_file(self, tmp_path):
+        lines = self._records()
+        lines[1] = lines[1].replace('"x":1', '"x":7')
+        path = self._write(tmp_path, lines)
+        before = path.read_bytes()
+        scan_journal(path)
+        assert path.read_bytes() == before
+
+
+class TestScrubState:
+    def test_aggregates_every_tier(self, tmp_path):
+        db = warm_cache(tmp_path / "cache")
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        (queue_dir / "queue.journal").write_text(
+            _encode_record({"op": "put", "id": "j0"}), encoding="utf-8"
+        )
+        store = CorpusCheckpoint(tmp_path / "run.ckpt", "cfg", ["s0"])
+        store.save({0: "r0"}, {})
+        report = scrub_state(
+            cache_dir=tmp_path / "cache",
+            queue_dir=queue_dir,
+            checkpoints=[tmp_path / "run.ckpt"],
+            databases=[db],
+        )
+        assert [tier["tier"] for tier in report["tiers"]] == [
+            "disk_cache", "queue_journal", "checkpoint",
+        ]
+        assert report["clean"] and report["corrupt_total"] == 0
+
+    def test_any_corruption_flips_clean(self, tmp_path):
+        warm_cache(tmp_path / "cache")
+        [entry] = list((tmp_path / "cache").glob("*.cube"))
+        entry.write_bytes(b"garbage")
+        report = scrub_state(cache_dir=tmp_path / "cache")
+        assert not report["clean"]
+        assert report["corrupt_total"] == 1
+        # The corruption was quarantined: a second scrub is clean.
+        assert scrub_state(cache_dir=tmp_path / "cache")["clean"]
+
+
+class TestScrubCli:
+    def test_exit_codes_and_json_report(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        warm_cache(tmp_path / "cache")
+        [entry] = list((tmp_path / "cache").glob("*.cube"))
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        entry.write_bytes(bytes(blob))
+        code = cli_main(
+            ["scrub", "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 4
+        assert report["corrupt_total"] == 1
+        assert not report["clean"]
+        # The corrupt entry is now quarantined: clean second pass, exit 0.
+        code = cli_main(
+            ["scrub", "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["clean"]
+
+    def test_semantic_validation_via_csv(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        csv_path = tmp_path / "events.csv"
+        csv_path.write_text("kind,score\na,1\na,2\nb,3\n")
+        cache_dir = tmp_path / "cache"
+        from repro.db import load_csv
+
+        db = Database("cli", [load_csv(csv_path)])
+        with active(FaultSpec("audit.bitflip", "raise", match="cell:*")):
+            warm_cache(cache_dir, db)
+        code = cli_main(
+            ["scrub", "--cache-dir", str(cache_dir),
+             "--csv", str(csv_path), "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 4
+        assert report["tiers"][0]["semantic_mismatch"] == 1
+
+    def test_no_tier_is_a_usage_error(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["scrub"]) == 2
+        assert "nothing to scrub" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Unit tests for the per-database trust ladder."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.audit.trust import TrustLadder, TrustLevel
+
+FP = "a" * 64
+OTHER = "b" * 64
+
+
+class TestTransitions:
+    def test_unknown_database_is_fully_trusted(self):
+        assert TrustLadder().level(FP) is TrustLevel.FULL
+
+    def test_each_divergence_demotes_one_rung(self):
+        ladder = TrustLadder()
+        assert ladder.record_divergence(FP) is TrustLevel.DISK_BYPASS
+        assert ladder.record_divergence(FP) is TrustLevel.ORACLE_ONLY
+        assert ladder.level(FP) is TrustLevel.ORACLE_ONLY
+        assert ladder.demotions == 2
+
+    def test_bottom_rung_is_absorbing(self):
+        ladder = TrustLadder()
+        for _ in range(5):
+            ladder.record_divergence(FP)
+        assert ladder.level(FP) is TrustLevel.ORACLE_ONLY
+        assert ladder.demotions == 2  # rungs below ORACLE_ONLY don't exist
+
+    def test_consecutive_clean_audits_promote(self):
+        ladder = TrustLadder(recover_after=3)
+        ladder.record_divergence(FP)
+        ladder.record_clean(FP)
+        ladder.record_clean(FP)
+        assert ladder.level(FP) is TrustLevel.DISK_BYPASS  # streak = 2 < 3
+        assert ladder.record_clean(FP) is TrustLevel.FULL
+        assert ladder.promotions == 1
+
+    def test_batched_clean_checks_count_individually(self):
+        ladder = TrustLadder(recover_after=4)
+        ladder.record_divergence(FP)
+        assert ladder.record_clean(FP, checks=4) is TrustLevel.FULL
+
+    def test_divergence_resets_the_clean_streak(self):
+        ladder = TrustLadder(recover_after=2)
+        ladder.record_divergence(FP)
+        ladder.record_clean(FP)
+        ladder.record_divergence(FP)  # streak back to 0, rung down again
+        ladder.record_clean(FP)
+        assert ladder.level(FP) is TrustLevel.ORACLE_ONLY
+        ladder.record_clean(FP)
+        assert ladder.level(FP) is TrustLevel.DISK_BYPASS
+
+    def test_promotion_climbs_one_rung_at_a_time(self):
+        ladder = TrustLadder(recover_after=1)
+        ladder.record_divergence(FP)
+        ladder.record_divergence(FP)
+        assert ladder.record_clean(FP) is TrustLevel.DISK_BYPASS
+        assert ladder.record_clean(FP) is TrustLevel.FULL
+
+    def test_clean_audits_at_full_trust_are_no_ops(self):
+        ladder = TrustLadder(recover_after=1)
+        ladder.record_clean(FP)
+        assert ladder.promotions == 0
+        assert ladder.level(FP) is TrustLevel.FULL
+
+    def test_recover_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="recover_after"):
+            TrustLadder(recover_after=0)
+
+
+class TestReporting:
+    def test_degraded_tracks_any_database_below_full(self):
+        ladder = TrustLadder(recover_after=1)
+        assert not ladder.degraded()
+        ladder.record_divergence(FP)
+        assert ladder.degraded()
+        ladder.record_clean(FP)
+        assert not ladder.degraded()
+
+    def test_stats_reports_only_noteworthy_databases(self):
+        ladder = TrustLadder(recover_after=1)
+        ladder.record_clean(OTHER)  # never diverged: not reported
+        ladder.record_divergence(FP)
+        stats = ladder.stats()
+        assert set(stats["databases"]) == {FP}
+        assert stats["databases"][FP]["level"] == "disk_bypass"
+        assert stats["databases"][FP]["divergences"] == 1
+        assert stats["degraded"] is True
+        # A recovered database keeps its divergence history visible.
+        ladder.record_clean(FP)
+        stats = ladder.stats()
+        assert stats["databases"][FP]["level"] == "full"
+        assert stats["degraded"] is False
+
+    def test_thread_safety_under_concurrent_updates(self):
+        ladder = TrustLadder(recover_after=2)
+
+        def hammer():
+            for _ in range(200):
+                ladder.record_divergence(FP)
+                ladder.record_clean(FP)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ladder.level(FP) in tuple(TrustLevel)
+        stats = ladder.stats()
+        assert stats["databases"][FP]["divergences"] == 800

@@ -26,6 +26,7 @@ except ImportError:
 #: Test paths (relative to the repo root) exercising the full verification
 #: pipeline, which needs the NumPy-based model layer.
 _NEEDS_MODEL = (
+    "tests/audit/test_shadow.py",
     "tests/core/test_checker.py",
     "tests/core/test_interactive.py",
     "tests/harness/",
