@@ -529,7 +529,7 @@ def test_service_chaos_soak(capsys, tmp_path):
     # framing check, only the scrub's recompute can see it) and one byte
     # flipped in a stored file (structural — the per-entry CRC catches
     # it). After quarantine the state must verify clean end to end.
-    from repro.db import DiskCubeCache, QueryEngine, parse_query
+    from repro.db import EngineConfig, QueryEngine, parse_query
 
     databases = _workload_databases(jobs)
     probe_db = databases[0]
@@ -537,7 +537,7 @@ def test_service_chaos_soak(capsys, tmp_path):
     table = probe_db.tables[0].name
     cell_spec = FaultSpec("audit.bitflip", "raise", match="cell:*", times=1)
     with active(cell_spec):
-        QueryEngine(probe_db, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+        QueryEngine(probe_db, EngineConfig(cache_dir=cache_dir)).evaluate(
             [parse_query(
                 f"SELECT Count(*) FROM {table} "
                 f"WHERE category = '{first_row[2]}'",
@@ -546,7 +546,7 @@ def test_service_chaos_soak(capsys, tmp_path):
         )
     # A second entry on a different dimension (hence a different cube
     # key and file): the structurally-flipped victim below.
-    QueryEngine(probe_db, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+    QueryEngine(probe_db, EngineConfig(cache_dir=cache_dir)).evaluate(
         [parse_query(
             f"SELECT Count(*) FROM {table} "
             f"WHERE category = '{first_row[2]}' AND beta = '{first_row[1]}'",

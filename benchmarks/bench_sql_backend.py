@@ -1,0 +1,273 @@
+"""SQL pushdown vs in-memory execution across storage adapters.
+
+Sweeps the same synthetic claim-query workload over the ``row``,
+``columnar``, and ``sqlite`` adapters and writes ``BENCH_sql.json``:
+
+- per-size engine timings (one merged-cube evaluate() per fresh engine),
+  with the sqlite leg running **out-of-core** against a SQLite file;
+- the tentpole acceptance proof: at the largest size the file-backed
+  sqlite engine verifies the whole batch under a materialization budget
+  orders of magnitude below the table, with
+  ``EngineStats.rows_materialized == 0``;
+- cross-adapter value identity at every size (same values, same types),
+  and full-corpus verdict identity sqlite-vs-columnar when NumPy (and
+  hence the model layer) is available.
+
+Row counts come from ``BENCH_SQL_SIZES`` (comma separated; default
+``10000,100000,1000000``) so CI can smoke-run a small sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import tempfile
+import time
+
+import pytest
+from pathlib import Path
+
+from repro.budget import ResourceBudget
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    EngineConfig,
+    ExecutionMode,
+    QueryEngine,
+    Table,
+    parse_query,
+)
+from repro.db.adapters import load_sqlite_database
+from repro.db.columnar import numpy_available
+from repro.harness.reporting import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_sql.json"
+
+TEAMS = [f"team{i:02d}" for i in range(24)]
+STATUSES = ["active", "suspended", "retired", "injured"]
+
+QUERY_SQLS = (
+    "SELECT Count(*) FROM events WHERE team = 'team03'",
+    "SELECT Count(*) FROM events WHERE team = 'team03' AND status = 'active'",
+    "SELECT Sum(score) FROM events WHERE status = 'suspended'",
+    "SELECT Avg(score) FROM events WHERE team = 'team11'",
+    "SELECT Min(score) FROM events WHERE status = 'retired'",
+    "SELECT Max(score) FROM events WHERE team = 'team17'",
+    "SELECT CountDistinct(team) FROM events",
+    "SELECT Percentage(*) FROM events WHERE status = 'active'",
+)
+
+#: The out-of-core budget: three orders of magnitude under the default
+#: largest sweep size.
+MAX_ROWS_BUDGET = 1_000
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("BENCH_SQL_SIZES", "10000,100000,1000000")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def synthetic_rows(n_rows: int, seed: int = 7) -> list[tuple]:
+    """NULLs and messy numeric strings mixed in, as in BENCH_engine."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(n_rows):
+        team = rng.choice(TEAMS) if rng.random() > 0.05 else None
+        status = rng.choice(STATUSES)
+        roll = rng.random()
+        if roll < 0.05:
+            score = None
+        elif roll < 0.08:
+            score = "n/a"
+        elif roll < 0.12:
+            score = f"{rng.randint(1, 9)},{rng.randint(100, 999)}"
+        else:
+            score = rng.randint(0, 10_000)
+        rows.append((team, status, score))
+    return rows
+
+
+COLUMNS = [
+    Column("team"),
+    Column("status"),
+    Column("score", ColumnType.NUMERIC),
+]
+
+
+def write_sqlite_file(rows: list[tuple], path: str) -> str:
+    connection = sqlite3.connect(path)
+    try:
+        connection.execute("CREATE TABLE events (team, status, score)")
+        connection.executemany("INSERT INTO events VALUES (?, ?, ?)", rows)
+        connection.commit()
+    finally:
+        connection.close()
+    return path
+
+
+def time_evaluate(database: Database, backend: str, repeats: int):
+    """Best-of-N evaluate() on a fresh engine (no cross-run cache)."""
+    best, values = float("inf"), None
+    for _ in range(repeats):
+        engine = QueryEngine(
+            database, EngineConfig(mode=ExecutionMode.MERGED, backend=backend)
+        )
+        queries = [parse_query(sql, database) for sql in QUERY_SQLS]
+        started = time.perf_counter()
+        results = engine.evaluate(queries)
+        best = min(best, time.perf_counter() - started)
+        values = [results[query] for query in queries]
+        engine.close()
+    return best, values
+
+
+def assert_identical(reference, actual, context: str) -> None:
+    """Same values AND same Python types (the bit-identity contract)."""
+    assert len(reference) == len(actual)
+    for sql, expected, got in zip(QUERY_SQLS, reference, actual):
+        assert type(expected) is type(got), f"{context} {sql}: {expected!r} vs {got!r}"
+        if isinstance(expected, float):
+            assert repr(expected) == repr(got), f"{context} {sql}"
+        else:
+            assert expected == got, f"{context} {sql}: {expected!r} != {got!r}"
+
+
+def out_of_core_proof(path: str, n_rows: int, reference) -> dict:
+    """Verify the whole batch over the file under a tiny budget."""
+    database = load_sqlite_database(path)
+    engine = QueryEngine(database, EngineConfig(backend="sqlite"))
+    engine.budget = ResourceBudget(max_rows=MAX_ROWS_BUDGET)
+    queries = [parse_query(sql, database) for sql in QUERY_SQLS]
+    results = engine.evaluate(queries)
+    assert_identical(
+        reference, [results[query] for query in queries], "out-of-core"
+    )
+    stats = engine.stats
+    assert stats.rows_materialized == 0, stats
+    assert stats.pushdown_queries >= 1, stats
+    assert stats.budget_rejections == 0, stats
+    engine.close()
+    return {
+        "table_rows": n_rows,
+        "max_rows_budget": MAX_ROWS_BUDGET,
+        "rows_materialized": stats.rows_materialized,
+        "pushdown_queries": stats.pushdown_queries,
+        "pushdown_ok": 1.0 if stats.rows_materialized == 0 else 0.0,
+    }
+
+
+def verdict_identity() -> dict | None:
+    """Full-corpus verdicts sqlite-vs-columnar (needs the model layer)."""
+    if not numpy_available():
+        return None
+    from repro.core.config import AggCheckerConfig
+    from repro.corpus import generate_corpus
+    from repro.harness import run_corpus
+
+    corpus = generate_corpus()
+    reference = run_corpus(
+        corpus, AggCheckerConfig(engine=EngineConfig(backend="columnar"))
+    )
+    pushdown = run_corpus(
+        corpus, AggCheckerConfig(engine=EngineConfig(backend="sqlite"))
+    )
+    verdicts = 0
+    for expected, actual in zip(reference.results, pushdown.results):
+        left = [
+            (v.claim.mention.text, v.status, v.hover_text)
+            for v in expected.report.verdicts
+        ]
+        right = [
+            (v.claim.mention.text, v.status, v.hover_text)
+            for v in actual.report.verdicts
+        ]
+        assert left == right, expected.case.name
+        verdicts += len(left)
+    return {
+        "cases": len(reference.results),
+        "verdicts": verdicts,
+        "identical": 1.0,
+    }
+
+
+def test_sql_backend_scaling(capsys):
+    sizes = _sizes()
+    results = []
+    rows_out = []
+    proof = None
+    with tempfile.TemporaryDirectory(prefix="bench-sql-") as tmp:
+        for n_rows in sizes:
+            rows = synthetic_rows(n_rows)
+            database = Database(
+                "synthetic", [Table("events", COLUMNS, rows)]
+            )
+            path = write_sqlite_file(rows, os.path.join(tmp, f"{n_rows}.sqlite"))
+            file_db = load_sqlite_database(path)
+            repeats = 3 if n_rows <= 100_000 else 2
+            row_seconds, row_values = time_evaluate(database, "row", repeats)
+            col_seconds, col_values = time_evaluate(
+                database, "columnar", repeats
+            )
+            sql_seconds, sql_values = time_evaluate(file_db, "sqlite", repeats)
+            assert_identical(row_values, sql_values, f"sqlite@{n_rows}")
+            # The columnar kernels promote through float64, so the
+            # contract there is value equality, not type identity.
+            for sql, expected, got in zip(QUERY_SQLS, row_values, col_values):
+                assert got == pytest.approx(expected), f"columnar@{n_rows} {sql}"
+            speedup = row_seconds / max(sql_seconds, 1e-9)
+            results.append(
+                {
+                    "rows": n_rows,
+                    "row_seconds": round(row_seconds, 6),
+                    "columnar_seconds": round(col_seconds, 6),
+                    "sqlite_seconds": round(sql_seconds, 6),
+                    "sqlite_rows_per_sec": round(
+                        n_rows / max(sql_seconds, 1e-9)
+                    ),
+                    "sqlite_speedup_vs_row": round(speedup, 2),
+                }
+            )
+            rows_out.append(
+                [
+                    f"{n_rows:,}",
+                    f"{row_seconds * 1e3:.1f}ms",
+                    f"{col_seconds * 1e3:.1f}ms",
+                    f"{sql_seconds * 1e3:.1f}ms",
+                    f"x{speedup:.1f}",
+                ]
+            )
+        # Acceptance proof at the largest size: out-of-core verification
+        # under a budget far below the table, zero Python materialization.
+        proof = out_of_core_proof(path, sizes[-1], row_values)
+    identity = verdict_identity()
+    payload = {
+        "benchmark": "storage adapters: pushdown vs in-memory execution",
+        "numpy": numpy_available(),
+        "queries": list(QUERY_SQLS),
+        "results": results,
+        "out_of_core": proof,
+        "verdict_identity": identity,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    table = format_table(
+        "SQL backend scaling (row vs columnar vs sqlite pushdown)",
+        ["Rows", "Row-wise", "Columnar", "SQLite", "SQLite vs row"],
+        rows_out,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+        if identity is not None:
+            print(
+                f"verdict identity: {identity['verdicts']} verdicts across "
+                f"{identity['cases']} cases, all equal"
+            )
+        print(
+            f"out-of-core: {proof['table_rows']:,} rows verified under "
+            f"max_rows={proof['max_rows_budget']:,}, "
+            f"rows_materialized={proof['rows_materialized']}"
+        )
+        print(f"written: {OUTPUT}")

@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 
 from repro.core.config import AggCheckerConfig
-from repro.db.engine import ExecutionMode
+from repro.db.engine import EngineConfig, ExecutionMode
 from repro.harness import run_corpus
 from repro.harness.reporting import format_table
 
@@ -20,7 +20,7 @@ LADDER_CASES = 4
 
 
 def _ladder_config(mode: ExecutionMode, reuse: bool) -> AggCheckerConfig:
-    return AggCheckerConfig(execution_mode=mode).with_em(reuse_results=reuse)
+    return AggCheckerConfig(engine=EngineConfig(mode=mode)).with_em(reuse_results=reuse)
 
 
 def test_table6_processing(benchmark, corpus, capsys):

@@ -125,6 +125,24 @@ SPECS: dict[str, tuple] = {
         },
         lambda p: (),
     ),
+    "BENCH_sql.json": (
+        lambda p: (
+            _lookup(p, "numpy"),
+            tuple(entry.get("rows") for entry in p.get("results", [])),
+        ),
+        lambda p: {
+            # Pushdown must keep beating the row-wise tier at the
+            # largest swept size.
+            "sqlite_speedup_vs_row": (p.get("results") or [{}])[-1].get(
+                "sqlite_speedup_vs_row"
+            ),
+            # Delivery contracts (1.0 = held): the out-of-core scenario
+            # materialized nothing, and every corpus verdict matched.
+            "out_of_core_pushdown": _lookup(p, "out_of_core.pushdown_ok"),
+            "verdict_identity": _lookup(p, "verdict_identity.identical"),
+        },
+        lambda p: (),
+    ),
     "BENCH_service_load.json": (
         # The gated ratios are delivery contracts (acked/submitted), not
         # timings, so the workload signature is the document/claim shape

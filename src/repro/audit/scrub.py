@@ -39,10 +39,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
-from repro.db.cube import CubeQuery, execute_cube
+from repro.db.adapters import create_adapter
+from repro.db.cube import CubeQuery
 from repro.db.diskcache import DiskCubeCache, fingerprint_of
-from repro.db.engine import ExecutionBackend
-from repro.db.joins import JoinGraph
 from repro.db.values import DEFAULT_LITERAL
 
 if TYPE_CHECKING:
@@ -68,17 +67,19 @@ def recompute_matches(
     on which *other* literals the producing cube collapsed, so they are
     not reproducible from the merged literal set — and by the same
     argument the engine never serves them for a specific literal.
-    ``graphs`` memoizes :class:`JoinGraph` construction across entries of
-    one database.
+    ``graphs`` memoizes storage-adapter construction across entries of
+    one database (entries name the backend that produced them, so the
+    recompute runs through the same adapter — join memo, SQL connection
+    and all).
     """
     meta = payload["meta"]
-    backend = ExecutionBackend(meta["backend"])
-    key = (id(database), backend.value)
-    graph = graphs.get(key) if graphs is not None else None
-    if graph is None:
-        graph = JoinGraph(database, backend=backend)
+    backend = str(meta["backend"])
+    key = (id(database), backend)
+    adapter = graphs.get(key) if graphs is not None else None
+    if adapter is None:
+        adapter = create_adapter(backend, database)
         if graphs is not None:
-            graphs[key] = graph
+            graphs[key] = adapter
     literals = payload["literals"]
     dims = tuple(meta["dims"])
     cube = CubeQuery(
@@ -89,7 +90,7 @@ def recompute_matches(
         ),
         aggregates=(meta["spec"],),
     )
-    fresh = execute_cube(database, cube, graph).cells_for(meta["spec"])
+    fresh = adapter.execute_cube(cube).cells_for(meta["spec"])
     for cell_key, value in payload["cells"].items():
         if any(part == DEFAULT_LITERAL for part in cell_key):
             continue

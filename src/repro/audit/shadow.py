@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING
 from repro.audit.scrub import recompute_matches
 from repro.audit.trust import TrustLadder, TrustLevel
 from repro.db.diskcache import DiskCubeCache, fingerprint_of
-from repro.db.engine import EngineStats, ExecutionBackend, ExecutionMode
+from repro.db.engine import EngineStats, ExecutionMode
 from repro.errors import ReproError
 from repro.text.claims import detect_claims
 
@@ -323,10 +323,13 @@ class ShadowAuditor:
         """The production config stripped to ground-truth execution."""
         return replace(
             self.service.config,
-            execution_mode=ExecutionMode.NAIVE,
-            backend=ExecutionBackend.ROW,
-            cache_dir=None,
-            disk_cache_min_rows=None,
+            engine=replace(
+                self.service.config.engine,
+                mode=ExecutionMode.NAIVE,
+                backend="row",
+                cache_dir=None,
+                disk_cache_min_rows=None,
+            ),
             claim_deadline=None,
             max_rows_materialized=None,
             max_cube_cells=None,

@@ -34,6 +34,7 @@ from repro.errors import BudgetExceeded
 def estimate_cube_cells(
     dimensions: tuple[str, ...] | list[str],
     literal_map: dict[str, object],
+    estimated_rows: int | None = None,
 ) -> int:
     """Upper-bound the rolled-up cell count of a cube before executing it.
 
@@ -43,11 +44,26 @@ def estimate_cube_cells(
     therefore a true upper bound on the number of cells ``execute_cube``
     can produce after rollup — computable from the literal map alone,
     before any row is touched.
+
+    ``estimated_rows``, when given, is an upper bound on the base
+    relation's cardinality (storage adapters derive it join-fan-out-aware
+    without materializing; see ``StorageAdapter.estimated_cardinality``).
+    It tightens the bound: at most ``min(prod(|literals_d| + 1), rows)``
+    base groups can be non-empty, and each contributes at most ``2^d``
+    rolled cells — so a cube over a tiny relation is admitted even when
+    its literal-product bound alone would trip the budget.
     """
     cells = 1
     for dim in dimensions:
         literals = literal_map.get(dim) or ()
         cells *= len(literals) + 2
+    if estimated_rows is not None:
+        groups = 1
+        for dim in dimensions:
+            literals = literal_map.get(dim) or ()
+            groups *= len(literals) + 1
+        rolled = min(groups, max(estimated_rows, 0)) * (1 << len(dimensions))
+        cells = min(cells, rolled)
     return cells
 
 

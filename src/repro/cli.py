@@ -43,7 +43,8 @@ from repro.core import AggChecker, render_markup
 from repro.core.config import AggCheckerConfig
 from repro.db.csvio import load_csv
 from repro.db.datadict import load_data_dictionary
-from repro.db.engine import ExecutionBackend, ExecutionMode
+from repro.db.adapters import adapter_names, load_sqlite_database
+from repro.db.engine import EngineConfig, ExecutionMode
 from repro.db.schema import Database
 from repro.errors import ReproError
 from repro.text.document import Document
@@ -74,7 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         required=True,
         metavar="FILE",
-        help="CSV data file (repeat for multiple tables)",
+        help="data file: CSV (repeat for multiple tables) or a single "
+        "SQLite database file (.sqlite/.sqlite3/.db; schema, types and "
+        "foreign keys are introspected, rows stay on disk)",
     )
     check.add_argument(
         "--article", required=True, metavar="FILE", help="article (HTML or text)"
@@ -90,10 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--backend",
-        choices=[backend.value for backend in ExecutionBackend],
-        default=ExecutionBackend.COLUMNAR.value,
-        help="query-engine backend: dictionary-encoded 'columnar' (default) "
-        "or the row-wise reference 'row'",
+        choices=adapter_names(),
+        default="columnar",
+        help="storage adapter executing cube and aggregate queries: "
+        "dictionary-encoded in-memory 'columnar' (default), the row-wise "
+        "in-memory reference 'row', or SQL pushdown — stdlib 'sqlite' "
+        "(bit-identical verdicts, runs out-of-core over SQLite files "
+        "without materializing rows in Python) and 'duckdb' (optional; "
+        "requires the duckdb package)",
     )
     check.add_argument(
         "--execution-mode",
@@ -139,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes; 1 runs in-process, 0 uses one per CPU "
         "(default: 1). Results are identical at any worker count.",
+    )
+    corpus_run.add_argument(
+        "--backend",
+        choices=adapter_names(),
+        default="columnar",
+        help="storage adapter for corpus databases (see 'check --backend')",
     )
     corpus_run.add_argument(
         "--cache-dir",
@@ -226,9 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--backend",
-        choices=[backend.value for backend in ExecutionBackend],
-        default=ExecutionBackend.COLUMNAR.value,
-        help="query-engine backend (see 'check --backend')",
+        choices=adapter_names(),
+        default="columnar",
+        help="storage adapter for served databases (see 'check --backend')",
     )
     serve.add_argument(
         "--execution-mode",
@@ -488,18 +501,39 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def _load_cli_database(paths: list[str]) -> Database:
+    """Build the ``check`` database from CSV files or one SQLite file."""
+    sqlite_paths = [
+        path
+        for path in paths
+        if Path(path).suffix.lower() in _SQLITE_SUFFIXES
+    ]
+    if not sqlite_paths:
+        return Database("cli", [load_csv(path) for path in paths])
+    if len(paths) > 1:
+        raise ReproError(
+            "a SQLite database file must be the only --csv argument "
+            f"(got {len(paths)} data files)"
+        )
+    return load_sqlite_database(sqlite_paths[0], name="cli")
+
+
 def _run_check(args) -> int:
-    tables = [load_csv(path) for path in args.csv]
-    database = Database("cli", tables)
+    database = _load_cli_database(args.csv)
     dictionary = (
         load_data_dictionary(args.data_dict) if args.data_dict else None
     )
     config = AggCheckerConfig(
         predicate_hits=args.hits,
-        backend=ExecutionBackend(args.backend),
-        execution_mode=ExecutionMode(args.execution_mode),
-        cache_dir=args.cache_dir,
-        disk_cache_min_rows=args.disk_cache_min_rows,
+        engine=EngineConfig(
+            mode=ExecutionMode(args.execution_mode),
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            disk_cache_min_rows=args.disk_cache_min_rows,
+        ),
         claim_deadline=args.claim_deadline,
         max_rows_materialized=args.max_rows_materialized,
         max_cube_cells=args.max_cube_cells,
@@ -560,8 +594,11 @@ def _run_corpus(args) -> int:
 
     workers = resolve_workers(args.workers)
     config = AggCheckerConfig(
-        cache_dir=args.cache_dir,
-        disk_cache_min_rows=args.disk_cache_min_rows,
+        engine=EngineConfig(
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            disk_cache_min_rows=args.disk_cache_min_rows,
+        ),
     )
     corpus = generate_corpus()
     started = time.perf_counter()
@@ -635,10 +672,12 @@ def _run_corpus(args) -> int:
 def _run_serve(args) -> int:
     config = AggCheckerConfig(
         predicate_hits=args.hits,
-        backend=ExecutionBackend(args.backend),
-        execution_mode=ExecutionMode(args.execution_mode),
-        cache_dir=args.cache_dir,
-        disk_cache_min_rows=args.disk_cache_min_rows,
+        engine=EngineConfig(
+            mode=ExecutionMode(args.execution_mode),
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            disk_cache_min_rows=args.disk_cache_min_rows,
+        ),
         max_rows_materialized=args.max_rows_materialized,
         max_cube_cells=args.max_cube_cells,
         max_candidates=args.max_candidates,

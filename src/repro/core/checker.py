@@ -181,18 +181,7 @@ class AggChecker:
             # postings, idf/norm arrays) up front: checkers are pooled per
             # database, so every document reuses them.
             self.index.compiled()
-        disk_cache = None
-        if self.config.cache_dir:
-            from repro.db.diskcache import DiskCubeCache
-
-            disk_cache = DiskCubeCache(self.config.cache_dir)
-        self.engine = QueryEngine(
-            database,
-            self.config.execution_mode,
-            backend=self.config.backend,
-            disk_cache=disk_cache,
-            disk_cache_min_rows=self.config.disk_cache_min_rows,
-        )
+        self.engine = QueryEngine(database, self.config.engine)
 
     def check_html(self, html: str) -> CheckReport:
         """Parse HTML and verify the resulting document."""

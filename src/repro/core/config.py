@@ -2,18 +2,31 @@
 
 One frozen object bundles every knob of the pipeline; the ablation harness
 derives variants from the default via :func:`dataclasses.replace`.
+
+Engine construction knobs (execution mode, storage backend, disk-cache
+directory, space/time budgets' companion ``disk_cache_min_rows``) live in
+one nested :class:`~repro.db.engine.EngineConfig` under ``engine``; the
+old flat fields (``execution_mode=``, ``backend=``, ``cache_dir=``,
+``disk_cache_min_rows=``) are kept as deprecated constructor shims and
+read-only properties so existing call sites keep working while emitting
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
-from repro.db.engine import ExecutionBackend, ExecutionMode
+from repro.db.engine import EngineConfig, ExecutionBackend, ExecutionMode
 from repro.fragments.extract import ExtractionConfig
 from repro.matching.context import ContextConfig
 from repro.model.candidates import CandidateConfig
 from repro.model.em import EmConfig
 from repro.text.claims import ClaimDetectionConfig
+
+#: Sentinel distinguishing "not passed" from an explicit None in the
+#: deprecated flat-field constructor shims.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -36,11 +49,10 @@ class AggCheckerConfig:
     predicate_hits: int = 20
     #: Aggregation-column fragments retrieved per claim (Figure 13 right).
     column_hits: int = 10
-    #: Query-engine execution strategy (Table 6 ladder).
-    execution_mode: ExecutionMode = ExecutionMode.MERGED_CACHED
-    #: Physical engine backend: dictionary-encoded columnar (default,
-    #: vectorized with NumPy when available) or the row-wise oracle.
-    backend: ExecutionBackend = ExecutionBackend.COLUMNAR
+    #: Query-engine construction: execution mode (Table 6 ladder), storage
+    #: backend (``columnar``/``row``/``sqlite``/``duckdb``), cube disk
+    #: cache. Derive variants with :meth:`with_engine`.
+    engine: EngineConfig = field(default_factory=EngineConfig)
     #: Share predicate fragments across the document's claims (paper
     #: Section 6.3 pools literals "for any claim in the document").
     pool_predicates: bool = True
@@ -48,17 +60,6 @@ class AggCheckerConfig:
     #: fragment index in one vectorized pass per category (bit-identical
     #: to the per-claim oracle, which False falls back to).
     batch_matching: bool = True
-    #: Directory for the persistent cube-cell cache (None disables the
-    #: disk tier). Safe to share between concurrent workers and across
-    #: runs: entries are keyed by database *content* fingerprint, so data
-    #: edits invalidate automatically.
-    cache_dir: str | None = None
-    #: Skip the disk cube-cache tier for databases with fewer total rows
-    #: than this (None = always use it when ``cache_dir`` is set). Tiny
-    #: databases recompute a cube faster than a disk round-trip, so the
-    #: warm disk tier is a net slowdown for them; skips are counted in
-    #: ``DiskCacheStats.skipped_small``.
-    disk_cache_min_rows: int | None = None
     #: Wall-clock execution budget per claim, in seconds (None = no
     #: deadline). A document gets ``claim_deadline * n_claims`` (claims
     #: are verified jointly); when it expires the checker degrades
@@ -71,16 +72,86 @@ class AggCheckerConfig:
     #: Exceeding it walks the same degradation ladder as deadline expiry.
     max_rows_materialized: int | None = None
     #: Space budget: maximum *estimated* rolled-up cube cells. The engine
-    #: bounds a cube's result as prod(|literals_d| + 2) over its
-    #: dimensions and refuses to execute cubes over the limit (None =
-    #: unlimited).
+    #: bounds a cube's result before executing it (see
+    #: :func:`repro.budget.estimate_cube_cells`) and refuses to execute
+    #: cubes over the limit (None = unlimited).
     max_cube_cells: int | None = None
     #: Space budget: maximum candidate (query, claim) pairs evaluated for
     #: one claim's candidate space (None = unlimited).
     max_candidates: int | None = None
+
+    def with_engine(self, **changes) -> "AggCheckerConfig":
+        """Variant with engine-construction knobs replaced (e.g.
+        ``config.with_engine(backend="sqlite", cache_dir=path)``)."""
+        return replace(self, engine=replace(self.engine, **changes))
 
     def with_em(self, **changes) -> "AggCheckerConfig":
         return replace(self, em=replace(self.em, **changes))
 
     def with_context(self, **changes) -> "AggCheckerConfig":
         return replace(self, context=replace(self.context, **changes))
+
+
+# Write-side compatibility: the old flat engine kwargs remain accepted by
+# the constructor (with a DeprecationWarning) via a wrapper around the
+# generated ``__init__``. They are deliberately NOT dataclass ``InitVar``s:
+# ``dataclasses.replace`` re-reads InitVar-with-default values through
+# ``getattr`` and would echo the *old* engine's flat values back into the
+# constructor, clobbering an explicit ``engine=`` replacement (this is how
+# ``with_engine`` would silently become a no-op). A plain keyword shim is
+# invisible to ``replace``.
+_dataclass_init = AggCheckerConfig.__init__
+
+
+def _compat_init(
+    self,
+    *args,
+    execution_mode=_UNSET,
+    backend=_UNSET,
+    cache_dir=_UNSET,
+    disk_cache_min_rows=_UNSET,
+    **kwargs,
+):
+    _dataclass_init(self, *args, **kwargs)
+    overrides = {
+        name: value
+        for name, value in (
+            ("mode", execution_mode),
+            ("backend", backend),
+            ("cache_dir", cache_dir),
+            ("disk_cache_min_rows", disk_cache_min_rows),
+        )
+        if value is not _UNSET
+    }
+    if overrides:
+        warnings.warn(
+            "AggCheckerConfig(execution_mode=/backend=/cache_dir=/"
+            "disk_cache_min_rows=) is deprecated; pass "
+            "engine=EngineConfig(...) or use with_engine()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        object.__setattr__(self, "engine", replace(self.engine, **overrides))
+
+
+_compat_init.__wrapped__ = _dataclass_init
+AggCheckerConfig.__init__ = _compat_init
+
+# Read-side compatibility: the old flat fields remain readable (now
+# properties over the nested EngineConfig). Assigned after class creation
+# so the dataclass machinery does not treat them as fields; note
+# ``config.backend`` is now the canonical backend *name* string, not an
+# ExecutionBackend enum member.
+AggCheckerConfig.execution_mode = property(lambda self: self.engine.mode)
+AggCheckerConfig.backend = property(lambda self: self.engine.backend)
+AggCheckerConfig.cache_dir = property(lambda self: self.engine.cache_dir)
+AggCheckerConfig.disk_cache_min_rows = property(
+    lambda self: self.engine.disk_cache_min_rows
+)
+
+__all__ = [
+    "AggCheckerConfig",
+    "EngineConfig",
+    "ExecutionBackend",
+    "ExecutionMode",
+]

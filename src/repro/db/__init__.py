@@ -12,10 +12,23 @@ This subpackage provides everything AggChecker needs from a database system:
   SQL rendering and parsing (:mod:`repro.db.sql`),
 - a direct executor (:mod:`repro.db.executor`), a ``GROUP BY CUBE`` operator
   with ``InOrDefault`` literal collapsing (:mod:`repro.db.cube`),
+- pluggable storage adapters (:mod:`repro.db.adapters`) — in-memory
+  columnar/row execution plus SQL pushdown into SQLite (stdlib) or DuckDB
+  (optional), including out-of-core SQLite-file databases,
 - and a batch :class:`~repro.db.engine.QueryEngine` implementing the paper's
   query merging and result caching (Section 6) with execution statistics.
 """
 
+from repro.db.adapters import (
+    AdapterCapabilities,
+    SqlBackedTable,
+    StorageAdapter,
+    adapter_names,
+    canonical_backend_name,
+    create_adapter,
+    load_sqlite_database,
+    register_adapter,
+)
 from repro.db.aggregates import AggregateFunction
 from repro.db.columnar import ColumnarRelation, ExecutionBackend
 from repro.db.csvio import load_csv, load_csv_text
@@ -23,6 +36,7 @@ from repro.db.cube import CubeQuery, CubeResult, execute_cube
 from repro.db.diskcache import DiskCubeCache, database_fingerprint, fingerprint_of
 from repro.db.engine import (
     CubeCoverStrategy,
+    EngineConfig,
     EngineStats,
     ExecutionMode,
     QueryEngine,
@@ -32,9 +46,15 @@ from repro.db.joins import JoinGraph, JoinPath
 from repro.db.predicates import Predicate
 from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
 from repro.db.schema import Column, ColumnType, Database, ForeignKey, Table
-from repro.db.sql import parse_query, render_sql
+from repro.db.sql import (
+    parse_query,
+    quote_identifier,
+    render_sql,
+    render_sql_parameterized,
+)
 
 __all__ = [
+    "AdapterCapabilities",
     "AggregateFunction",
     "AggregateSpec",
     "Column",
@@ -46,6 +66,7 @@ __all__ = [
     "CubeResult",
     "Database",
     "DiskCubeCache",
+    "EngineConfig",
     "EngineStats",
     "ExecutionBackend",
     "ExecutionMode",
@@ -56,13 +77,22 @@ __all__ = [
     "QueryEngine",
     "STAR",
     "SimpleAggregateQuery",
+    "SqlBackedTable",
+    "StorageAdapter",
     "Table",
+    "adapter_names",
+    "canonical_backend_name",
+    "create_adapter",
     "database_fingerprint",
     "fingerprint_of",
     "execute_cube",
     "execute_query",
     "load_csv",
     "load_csv_text",
+    "load_sqlite_database",
     "parse_query",
+    "quote_identifier",
+    "register_adapter",
     "render_sql",
+    "render_sql_parameterized",
 ]

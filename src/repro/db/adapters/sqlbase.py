@@ -1,0 +1,439 @@
+"""Shared machinery for SQL pushdown adapters (SQLite, DuckDB).
+
+The engine's semantics are defined by the row-wise reference path:
+case-insensitive normalized-string equality, forgiving numeric coercion
+(``"$1,200"`` is 1200), NULL-and-blank missingness. A SQL engine knows
+none of that, so the scalar layer stays in Python — four deterministic
+UDFs registered on the connection:
+
+- ``rnorm(x)``  → :func:`~repro.db.values.normalize_string`
+- ``rnum(x)``   → :func:`~repro.db.values.coerce_number` (NULL if not numeric)
+- ``rmiss(x)``  → 1 if :func:`~repro.db.values.is_missing` else 0
+- ``req(x, y)`` → 1 if :func:`~repro.db.values.values_equal` else 0
+
+while joins, grouping, and aggregation push down as generated SQL. Cube
+queries emulate ``GROUP BY GROUPING SETS`` with one ``UNION ALL`` arm per
+dimension subset over a shared base CTE (SQLite has no native GROUPING
+SETS); each arm computes the same mergeable partials as the row path's
+``_Partial`` accumulator, and finalization happens in Python with the
+identical branching, which is what makes verdicts bit-identical.
+
+All statements are parameterized (qmark style, identifiers quoted via
+:func:`repro.db.sql.quote_identifier`); no cell value or claim literal is
+ever interpolated into SQL text.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING
+
+from repro.db.adapters.base import SimpleResult, StorageAdapter
+from repro.db.aggregates import AggregateFunction, ratio_value
+from repro.db.columnar import ExecutionBackend
+from repro.db.cube import ALL, CellKey, CubeResult
+from repro.db.joins import JoinGraph, JoinPath
+from repro.db.query import AggregateSpec, ColumnRef
+from repro.db.sql import quote_identifier
+from repro.db.values import DEFAULT_LITERAL, Value
+from repro.errors import JoinPathError, QueryError
+
+if TYPE_CHECKING:
+    from repro.budget import ResourceBudget
+    from repro.db.cube import CubeQuery
+    from repro.db.query import SimpleAggregateQuery
+    from repro.db.schema import Database
+
+#: Partial-aggregate fields an arm can compute per aggregation column,
+#: in result-row layout order.
+_FIELD_ORDER = ("count", "distinct", "ncount", "total", "minimum", "maximum")
+
+#: Fields needed per aggregate function (star COUNT needs only ``rows``,
+#: which every arm computes).
+_FIELDS_BY_FN = {
+    AggregateFunction.COUNT: ("count",),
+    AggregateFunction.COUNT_DISTINCT: ("distinct",),
+    AggregateFunction.SUM: ("ncount", "total"),
+    AggregateFunction.AVG: ("ncount", "total"),
+    AggregateFunction.MIN: ("ncount", "minimum"),
+    AggregateFunction.MAX: ("ncount", "maximum"),
+}
+
+
+def _column_expr(ref: ColumnRef) -> str:
+    return f"{quote_identifier(ref.table)}.{quote_identifier(ref.column)}"
+
+
+def join_clause(join_graph: JoinGraph, tables: frozenset[str]) -> str:
+    """``FROM``/``JOIN`` text for the join tree covering ``tables``.
+
+    Mirrors the row-wise hash join exactly: inner equi-joins on
+    ``rnorm()`` equality with SQL-NULL keys excluded on both sides
+    (blank-string keys *do* join — they normalize to ``""`` like the
+    reference path).
+    """
+    path: JoinPath = join_graph.join_path(tables)
+    sql = quote_identifier(path.tables[0])
+    joined = {path.tables[0]}
+    pending = list(path.edges)
+    while pending:
+        edge = next(
+            (
+                fk
+                for fk in pending
+                if fk.source_table in joined or fk.target_table in joined
+            ),
+            None,
+        )
+        if edge is None:
+            raise JoinPathError("disconnected join tree")
+        pending.remove(edge)
+        if edge.source_table in joined:
+            known = _column_expr(ColumnRef(edge.source_table, edge.source_column))
+            new_table, new_key = edge.target_table, edge.target_column
+        else:
+            known = _column_expr(ColumnRef(edge.target_table, edge.target_column))
+            new_table, new_key = edge.source_table, edge.source_column
+        incoming = _column_expr(ColumnRef(new_table, new_key))
+        sql += (
+            f" JOIN {quote_identifier(new_table)} ON {known} IS NOT NULL"
+            f" AND {incoming} IS NOT NULL"
+            f" AND rnorm({known}) = rnorm({incoming})"
+        )
+        joined.add(new_table)
+    return sql
+
+
+def _predicate_condition(predicate) -> tuple[str, Value]:
+    """``req(col, ?) = 1`` plus its bind parameter."""
+    return f"req({_column_expr(predicate.column)}, ?) = 1", predicate.value
+
+
+class _CubePlan:
+    """A compiled cube statement plus the recipe to decode its rows."""
+
+    __slots__ = ("sql", "params", "n_dims", "columns", "needs")
+
+    def __init__(self, cube: "CubeQuery", join_graph: JoinGraph) -> None:
+        tables = cube.tables or frozenset(
+            {join_graph.database.single_table().name}
+        )
+        n_dims = len(cube.dimensions)
+        # Aggregation columns (deduped) and the partial fields each needs.
+        self.needs: dict[ColumnRef, tuple[str, ...]] = {}
+        for spec in cube.aggregates:
+            if spec.column.is_star:
+                continue
+            fields = set(self.needs.get(spec.column, ()))
+            fields.update(_FIELDS_BY_FN[spec.function])
+            self.needs[spec.column] = tuple(
+                f for f in _FIELD_ORDER if f in fields
+            )
+        self.columns = sorted(self.needs, key=str)
+        self.n_dims = n_dims
+
+        params: list[Value] = []
+        bucket_exprs: list[str] = []
+        for index, (dim, literals) in enumerate(cube.literals):
+            expr = f"rnorm({_column_expr(dim)})"
+            ordered = sorted(literals)
+            if ordered:
+                marks = ", ".join("?" for _ in ordered)
+                bucket = (
+                    f"CASE WHEN {expr} IN ({marks}) THEN {expr} ELSE ? END"
+                )
+                params.extend(ordered)
+            else:
+                bucket = "?"
+            params.append(DEFAULT_LITERAL)
+            bucket_exprs.append(f"{bucket} AS b{index}")
+        value_exprs = [
+            f"{_column_expr(column)} AS a{j}"
+            for j, column in enumerate(self.columns)
+        ]
+        select_list = ", ".join(bucket_exprs + value_exprs) or "1 AS one"
+        # Double-underscored CTE name so a user table named "base" cannot
+        # shadow (or be shadowed by) the cube's shared scan.
+        cte = quote_identifier("__cube_base__")
+        base = (
+            f"SELECT {select_list} FROM {join_clause(join_graph, tables)}"
+        )
+
+        arms: list[str] = []
+        for size in range(n_dims + 1):
+            for mask in combinations(range(n_dims), size):
+                kept = set(mask)
+                keys = [
+                    f"b{i}" if i in kept else "NULL" for i in range(n_dims)
+                ]
+                aggs = ["COUNT(*)"]
+                for j, column in enumerate(self.columns):
+                    aggs.extend(
+                        _field_expr(field, f"a{j}")
+                        for field in self.needs[column]
+                    )
+                arm = f"SELECT {', '.join(keys + aggs)} FROM {cte}"
+                if mask:
+                    arm += " GROUP BY " + ", ".join(f"b{i}" for i in mask)
+                arms.append(arm)
+        self.sql = f"WITH {cte} AS ({base}) " + " UNION ALL ".join(arms)
+        self.params = tuple(params)
+
+    def decode(
+        self,
+        cube: "CubeQuery",
+        rows,
+        budget: "ResourceBudget | None",
+    ) -> CubeResult:
+        """Assemble fetched partial rows into a canonical CubeResult."""
+        n_dims = self.n_dims
+        cells: dict[CellKey, dict[AggregateSpec, Value]] = {}
+        rows_scanned = 0
+        for row in rows:
+            key = tuple(
+                part if part is not None else ALL for part in row[:n_dims]
+            )
+            group_rows = row[n_dims]
+            if all(part is ALL for part in key):
+                # The empty grouping-set arm aggregates the whole base
+                # relation: its row count is the relation cardinality.
+                rows_scanned = group_rows
+            if group_rows == 0:
+                # SQL returns one all-ALL row even over an empty relation;
+                # the reference path produces no cells for empty groups.
+                continue
+            offset = n_dims + 1
+            partials: dict[ColumnRef, dict[str, Value]] = {}
+            for column in self.columns:
+                fields = self.needs[column]
+                partials[column] = dict(
+                    zip(fields, row[offset : offset + len(fields)])
+                )
+                offset += len(fields)
+            cells[key] = {
+                spec: _finalize_cube(spec, group_rows, partials)
+                for spec in cube.aggregates
+            }
+            if budget is not None:
+                # Streaming guard: same limit the row path enforces before
+                # rollup, applied to actual rolled cells as pages arrive.
+                budget.check_cube(len(cells), "cube-rollup")
+        return CubeResult(cube, cells, rows_scanned=rows_scanned)
+
+
+def _field_expr(field: str, x: str) -> str:
+    if field == "count":
+        return f"COUNT(CASE WHEN rmiss({x}) = 0 THEN 1 END)"
+    if field == "distinct":
+        return f"COUNT(DISTINCT CASE WHEN rmiss({x}) = 0 THEN rnorm({x}) END)"
+    if field == "ncount":
+        return f"COUNT(rnum({x}))"
+    if field == "total":
+        # CAST to REAL: the reference _Partial accumulates sums in a float
+        # (``total = 0.0``), so cube SUM/AVG are float even over integers.
+        return f"SUM(CAST(rnum({x}) AS REAL))"
+    if field == "minimum":
+        return f"MIN(rnum({x}))"
+    if field == "maximum":
+        return f"MAX(rnum({x}))"
+    raise QueryError(f"unknown partial field {field!r}")
+
+
+def _finalize_cube(
+    spec: AggregateSpec,
+    group_rows: int,
+    partials: dict[ColumnRef, dict[str, Value]],
+) -> Value:
+    """Mirror of ``_Partial.finalize`` over SQL-computed partial fields."""
+    fn = spec.function
+    if spec.column.is_star:
+        if fn is AggregateFunction.COUNT:
+            return group_rows
+        raise QueryError(f"unsupported star aggregate {fn}")
+    fields = partials[spec.column]
+    if fn is AggregateFunction.COUNT:
+        return fields["count"]
+    if fn is AggregateFunction.COUNT_DISTINCT:
+        return fields["distinct"]
+    if fields["ncount"] == 0:
+        return None
+    if fn is AggregateFunction.SUM:
+        return fields["total"]
+    if fn is AggregateFunction.AVG:
+        return fields["total"] / fields["ncount"]
+    if fn is AggregateFunction.MIN:
+        return fields["minimum"]
+    if fn is AggregateFunction.MAX:
+        return fields["maximum"]
+    raise QueryError(f"unsupported basis aggregate {fn}")
+
+
+class SqlAdapterBase(StorageAdapter):
+    """Template for adapters that push execution into a SQL engine.
+
+    Subclasses provide ``_connect()`` (a DB-API connection with the four
+    UDFs registered). Everything else — statement generation, paged
+    fetching, partial finalization, cardinality pushdown — is shared.
+    """
+
+    #: Rows fetched per page when draining cube results (keeps peak
+    #: memory bounded and lets budgets stop oversized results early).
+    page_size = 4096
+
+    def __init__(self, database: "Database") -> None:
+        super().__init__(database)
+        # Schema-only graph: join_path() and FK adjacency, never
+        # .relation() — materialization stays inside the SQL engine.
+        self.join_graph = JoinGraph(database, backend=ExecutionBackend.ROW)
+        self._count_memo: dict[frozenset[str], int] = {}
+        self._connection = self._connect()
+
+    def _connect(self):  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _execute(self, sql: str, params: tuple = ()):
+        self.pushdown_queries += 1
+        return self._connection.execute(sql, params)
+
+    # -- cardinality ---------------------------------------------------
+
+    def estimated_cardinality(self, tables: frozenset[str]) -> int:
+        # Counting pushes down, so the "estimate" is exact and cheap.
+        return self.exact_cardinality(tables)
+
+    def exact_cardinality(self, tables: frozenset[str]) -> int:
+        key = frozenset(tables)
+        cached = self._count_memo.get(key)
+        if cached is None:
+            cursor = self._execute(
+                f"SELECT COUNT(*) FROM {join_clause(self.join_graph, key)}"
+            )
+            cached = cursor.fetchone()[0]
+            self._count_memo[key] = cached
+        return cached
+
+    # -- cube path -----------------------------------------------------
+
+    def execute_cube(
+        self, cube: "CubeQuery", budget: "ResourceBudget | None" = None
+    ) -> CubeResult:
+        plan = _CubePlan(cube, self.join_graph)
+        cursor = self._execute(plan.sql, plan.params)
+        return plan.decode(cube, self._pages(cursor), budget)
+
+    def _pages(self, cursor):
+        """Yield result rows in bounded pages (keyset-free cursor paging)."""
+        while True:
+            chunk = cursor.fetchmany(self.page_size)
+            if not chunk:
+                return
+            yield from chunk
+
+    # -- naive path ----------------------------------------------------
+
+    def execute_simple(self, query: "SimpleAggregateQuery") -> SimpleResult:
+        tables = self._query_tables(query)
+        if query.aggregate.function.is_ratio:
+            value = self._execute_ratio(query, tables)
+        else:
+            value = self._execute_plain(query, tables)
+        return SimpleResult(value, self.exact_cardinality(tables))
+
+    def _execute_plain(
+        self, query: "SimpleAggregateQuery", tables: frozenset[str]
+    ) -> Value:
+        fn = query.aggregate.function
+        column = query.aggregate.column
+        params: list[Value] = []
+        if column.is_star:
+            selects = ["COUNT(*)"]
+            fields = ("rows",)
+        else:
+            x = _column_expr(column)
+            if fn is AggregateFunction.COUNT:
+                selects = [f"COUNT(CASE WHEN rmiss({x}) = 0 THEN 1 END)"]
+                fields = ("count",)
+            elif fn is AggregateFunction.COUNT_DISTINCT:
+                selects = [
+                    f"COUNT(DISTINCT CASE WHEN rmiss({x}) = 0"
+                    f" THEN rnorm({x}) END)"
+                ]
+                fields = ("distinct",)
+            else:
+                # The naive reference (compute_plain) sums raw coercions —
+                # integer sums stay integers there, so no REAL cast here.
+                selects = [f"COUNT(rnum({x}))", f"SUM(rnum({x}))"]
+                fields = ("ncount", "total")
+                if fn is AggregateFunction.MIN:
+                    selects.append(f"MIN(rnum({x}))")
+                    fields += ("minimum",)
+                elif fn is AggregateFunction.MAX:
+                    selects.append(f"MAX(rnum({x}))")
+                    fields += ("maximum",)
+        sql = (
+            f"SELECT {', '.join(selects)}"
+            f" FROM {join_clause(self.join_graph, tables)}"
+        )
+        conditions = []
+        for predicate in query.all_predicates:
+            condition, value = _predicate_condition(predicate)
+            conditions.append(condition)
+            params.append(value)
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        row = dict(zip(fields, self._execute(sql, tuple(params)).fetchone()))
+        if fn is AggregateFunction.COUNT:
+            return row["rows"] if column.is_star else row["count"]
+        if fn is AggregateFunction.COUNT_DISTINCT:
+            return row["distinct"]
+        if row["ncount"] == 0:
+            return None
+        if fn is AggregateFunction.SUM:
+            return row["total"]
+        if fn is AggregateFunction.AVG:
+            return row["total"] / row["ncount"]
+        if fn is AggregateFunction.MIN:
+            return row["minimum"]
+        return row["maximum"]
+
+    def _execute_ratio(
+        self, query: "SimpleAggregateQuery", tables: frozenset[str]
+    ) -> Value:
+        column = query.aggregate.column
+        params: list[Value] = []
+
+        def conditional_count(predicates) -> str:
+            parts = []
+            for predicate in predicates:
+                condition, value = _predicate_condition(predicate)
+                parts.append(condition)
+                params.append(value)
+            if not column.is_star:
+                parts.append(f"rmiss({_column_expr(column)}) = 0")
+            if not parts:
+                return "COUNT(*)"
+            return f"COUNT(CASE WHEN {' AND '.join(parts)} THEN 1 END)"
+
+        numerator = conditional_count(query.all_predicates)
+        if query.aggregate.function is AggregateFunction.PERCENTAGE:
+            denominator = conditional_count(())
+        else:  # CONDITIONAL_PROBABILITY
+            assert query.condition is not None
+            denominator = conditional_count((query.condition,))
+        sql = (
+            f"SELECT {numerator}, {denominator}"
+            f" FROM {join_clause(self.join_graph, tables)}"
+        )
+        row = self._execute(sql, tuple(params)).fetchone()
+        return ratio_value(row[0], row[1])
+
+    def _query_tables(self, query: "SimpleAggregateQuery") -> frozenset[str]:
+        tables = query.referenced_tables()
+        if not tables:
+            tables = frozenset({self.database.single_table().name})
+        return tables

@@ -1,0 +1,348 @@
+"""SQLite pushdown adapter (stdlib-only) and out-of-core database loading.
+
+Two modes share one adapter:
+
+- **Loaded databases** (built from CSVs or constructed in tests) are
+  copied once into an in-memory SQLite database at adapter construction;
+  all joins, grouping, and aggregation then push down as SQL.
+- **File-backed databases** (:func:`load_sqlite_database`) never load
+  rows into Python at all. Tables are :class:`SqlBackedTable` instances
+  whose ``rows`` stream from the file in keyset-paginated chunks, and the
+  adapter opens the file read-only, so a claim over a 10M-row SQLite file
+  verifies without materializing a single column in Python.
+
+Cell fidelity when copying a loaded database into SQLite (``_bind_cell``):
+
+- ``bool`` cells are stored as their ``str()`` form — the in-memory
+  engine treats booleans as non-numeric strings-in-waiting, and SQLite
+  would otherwise collapse them to 0/1 integers;
+- ``int`` cells beyond 64 bits are stored as decimal strings (SQLite
+  integers are int64); ``coerce_number`` recovers the exact value;
+- ``float('nan')`` is stored as the string ``"nan"`` (SQLite stores NaN
+  REALs as NULL, which would turn a present-but-non-numeric cell into a
+  missing one); every engine predicate agrees on the two spellings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.db.adapters.base import AdapterCapabilities, register_adapter
+from repro.db.adapters.sqlbase import SqlAdapterBase
+from repro.db.schema import (
+    Column,
+    Database,
+    ForeignKey,
+    SchemaError,
+    Table,
+    infer_column_type,
+)
+from repro.db.sql import quote_identifier
+from repro.db.values import (
+    Value,
+    coerce_number,
+    is_missing,
+    normalize_string,
+    values_equal,
+)
+
+#: Rows per page when streaming a file-backed table into Python.
+_ROW_PAGE = 2048
+
+#: SQLite's signed-64-bit integer range.
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+def _bind_cell(value: Value) -> Value:
+    """Map an engine cell to a SQLite-storable value, preserving the
+    engine's comparison/coercion semantics (see module docstring)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int) and not (_INT64_MIN <= value <= _INT64_MAX):
+        return str(value)
+    if isinstance(value, float) and value != value:  # NaN
+        return "nan"
+    return value
+
+
+def _udf_num(value: Value) -> Value:
+    """``rnum``: coerce_number, demoting >64-bit ints to float (SQLite
+    cannot represent them; documented deviation for such extremes)."""
+    number = coerce_number(value)
+    if isinstance(number, int) and not (_INT64_MIN <= number <= _INT64_MAX):
+        return float(number)
+    return number
+
+
+def register_udfs(connection: sqlite3.Connection) -> None:
+    """Install the engine's scalar semantics on a SQLite connection."""
+    connection.create_function(
+        "rnorm", 1, normalize_string, deterministic=True
+    )
+    connection.create_function("rnum", 1, _udf_num, deterministic=True)
+    connection.create_function(
+        "rmiss", 1, lambda v: 1 if is_missing(v) else 0, deterministic=True
+    )
+    connection.create_function(
+        "req", 2, lambda a, b: 1 if values_equal(a, b) else 0, deterministic=True
+    )
+
+
+@register_adapter
+class SqliteAdapter(SqlAdapterBase):
+    """Default SQL tier: pushes execution into stdlib ``sqlite3``."""
+
+    name = "sqlite"
+    capabilities = AdapterCapabilities(
+        pushdown=True, pagination=True, estimates_cardinality=True
+    )
+
+    def _connect(self) -> sqlite3.Connection:
+        path = getattr(self.database, "sqlite_path", None)
+        if path is not None:
+            connection = sqlite3.connect(
+                f"file:{os.fspath(path)}?mode=ro",
+                uri=True,
+                check_same_thread=False,
+            )
+            register_udfs(connection)
+            return connection
+        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        register_udfs(connection)
+        self._load_tables(connection)
+        return connection
+
+    def _load_tables(self, connection: sqlite3.Connection) -> None:
+        for table in self.database.tables:
+            name = quote_identifier(table.name)
+            # Bare (typeless) columns get BLOB affinity: SQLite stores
+            # every value exactly as bound, no silent text→number coercion.
+            columns = ", ".join(
+                quote_identifier(column.name) for column in table.columns
+            )
+            connection.execute(f"CREATE TABLE {name} ({columns})")
+            marks = ", ".join("?" for _ in table.columns)
+            connection.executemany(
+                f"INSERT INTO {name} VALUES ({marks})",
+                (tuple(_bind_cell(cell) for cell in row) for row in table.rows),
+            )
+        connection.commit()
+
+
+class SqlBackedTable(Table):
+    """A table whose rows live in a SQLite file, streamed on demand.
+
+    ``rows`` is a lazy sequence: ``len()`` is a pushed-down ``COUNT(*)``
+    and iteration pages through the file in keyset-paginated chunks, so
+    code written against :class:`~repro.db.schema.Table` (keyword
+    matching, type inference, the row/columnar adapters) still works —
+    it just streams. The SQLite adapter never touches ``rows`` at all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        sqlite_path: str | os.PathLike,
+        primary_key: str | None = None,
+    ) -> None:
+        super().__init__(name, columns, rows=(), primary_key=primary_key)
+        self.sqlite_path = os.fspath(sqlite_path)
+        self.rows = _SqlRows(self.sqlite_path, name)
+
+    def append(self, row: Sequence[Value]) -> None:
+        if isinstance(getattr(self, "rows", None), _SqlRows):
+            raise SchemaError(
+                f"table {self.name!r} is backed by a read-only SQLite file"
+            )
+        super().append(row)
+
+    def with_columns(self, columns: Sequence[Column]) -> "SqlBackedTable":
+        if len(columns) != len(self.columns):
+            raise SchemaError(
+                f"with_columns: expected {len(self.columns)} columns, "
+                f"got {len(columns)}"
+            )
+        return SqlBackedTable(
+            self.name, columns, self.sqlite_path, primary_key=self.primary_key
+        )
+
+    def content_token(self) -> str:
+        """Cheap content identity for fingerprinting: file identity plus
+        size and mtime, instead of hashing millions of cells."""
+        stat = os.stat(self.sqlite_path)
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    os.path.abspath(self.sqlite_path),
+                    self.name,
+                    stat.st_size,
+                    stat.st_mtime_ns,
+                )
+            ).encode()
+        )
+        return digest.hexdigest()
+
+
+class _SqlRows(Sequence):
+    """Lazy row sequence over one SQLite table (read-only)."""
+
+    def __init__(self, path: str, table: str) -> None:
+        self._path = path
+        self._table = table
+        self._connection: sqlite3.Connection | None = None
+        self._count: int | None = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is None:
+            self._connection = sqlite3.connect(
+                f"file:{self._path}?mode=ro", uri=True, check_same_thread=False
+            )
+        return self._connection
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = self._connect().execute(
+                f"SELECT COUNT(*) FROM {quote_identifier(self._table)}"
+            ).fetchone()[0]
+        return self._count
+
+    def __iter__(self):
+        name = quote_identifier(self._table)
+        connection = self._connect()
+        try:
+            # Keyset pagination: O(1) memory, no quadratic OFFSET rescans.
+            last = None
+            while True:
+                if last is None:
+                    cursor = connection.execute(
+                        f"SELECT rowid, * FROM {name} "
+                        f"ORDER BY rowid LIMIT {_ROW_PAGE}"
+                    )
+                else:
+                    cursor = connection.execute(
+                        f"SELECT rowid, * FROM {name} WHERE rowid > ? "
+                        f"ORDER BY rowid LIMIT {_ROW_PAGE}",
+                        (last,),
+                    )
+                chunk = cursor.fetchall()
+                if not chunk:
+                    return
+                for row in chunk:
+                    yield row[1:]
+                last = chunk[-1][0]
+        except sqlite3.OperationalError:
+            # WITHOUT ROWID tables: fall back to a single streaming scan.
+            cursor = connection.execute(f"SELECT * FROM {name}")
+            while True:
+                chunk = cursor.fetchmany(_ROW_PAGE)
+                if not chunk:
+                    return
+                yield from chunk
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(index)
+        row = self._connect().execute(
+            f"SELECT * FROM {quote_identifier(self._table)} LIMIT 1 OFFSET ?",
+            (index,),
+        ).fetchone()
+        return tuple(row)
+
+
+def load_sqlite_database(
+    path: str | os.PathLike,
+    name: str | None = None,
+    *,
+    sample_rows: int = 1000,
+) -> Database:
+    """Open a SQLite file as an out-of-core :class:`Database`.
+
+    Schema (tables, columns, single-column foreign keys) comes from
+    ``sqlite_master``/``PRAGMA``; column types are inferred from a
+    ``sample_rows``-row prefix sample. Rows are never loaded eagerly —
+    every table is a :class:`SqlBackedTable`. The returned database
+    carries ``sqlite_path``, which :class:`SqliteAdapter` detects to
+    query the file directly (zero-copy pushdown).
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise SchemaError(f"no such SQLite database: {path!r}")
+    connection = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        names = [
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+            )
+        ]
+        if not names:
+            raise SchemaError(f"SQLite database {path!r} has no tables")
+        tables = []
+        for table_name in names:
+            quoted = quote_identifier(table_name)
+            info = connection.execute(
+                f"PRAGMA table_info({quoted})"
+            ).fetchall()
+            sample = connection.execute(
+                f"SELECT * FROM {quoted} LIMIT ?", (sample_rows,)
+            ).fetchall()
+            columns = [
+                Column(
+                    column_row[1],
+                    infer_column_type(row[i] for row in sample),
+                )
+                for i, column_row in enumerate(info)
+            ]
+            pk_columns = [row[1] for row in info if row[5]]
+            tables.append(
+                SqlBackedTable(
+                    table_name,
+                    columns,
+                    path,
+                    primary_key=pk_columns[0] if len(pk_columns) == 1 else None,
+                )
+            )
+        foreign_keys = []
+        for table_name in names:
+            quoted = quote_identifier(table_name)
+            by_id: dict[int, list] = {}
+            for row in connection.execute(
+                f"PRAGMA foreign_key_list({quoted})"
+            ):
+                by_id.setdefault(row[0], []).append(row)
+            for rows in by_id.values():
+                if len(rows) != 1:
+                    continue  # composite FKs are outside the paper's model
+                _, _, target, source_column, target_column, *_ = rows[0]
+                if target not in names:
+                    continue
+                if target_column is None:
+                    # FK to the implicit primary key of the target table.
+                    target_table = next(
+                        t for t in tables if t.name == target
+                    )
+                    if target_table.primary_key is None:
+                        continue
+                    target_column = target_table.primary_key
+                foreign_keys.append(
+                    ForeignKey(table_name, source_column, target, target_column)
+                )
+    finally:
+        connection.close()
+    database = Database(
+        name or Path(path).stem or "database", tables, foreign_keys
+    )
+    database.sqlite_path = path
+    return database

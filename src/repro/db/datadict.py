@@ -47,9 +47,9 @@ def apply_data_dictionary(table: Table, dictionary: dict[str, str]) -> Table:
     for column in table.columns:
         description = lowered.get(column.name.strip().lower(), column.description)
         columns.append(Column(column.name, column.type, description))
-    clone = Table(table.name, columns, primary_key=table.primary_key)
-    clone.rows = list(table.rows)
-    return clone
+    # with_columns keeps the row storage: a plain Table shares its row
+    # list, a SQL-file-backed table stays lazy (no materialization).
+    return table.with_columns(columns)
 
 
 def apply_to_database(database: Database, dictionary: dict[str, str]) -> Database:

@@ -95,6 +95,13 @@ def database_fingerprint(database: Database) -> str:
         for column in table.columns:
             feed(f"C{column.name}:{column.type.value}{_SEP}")
         feed(_ROW_END)
+        token = getattr(table, "content_token", None)
+        if token is not None:
+            # Storage-backed tables (e.g. SQLite files) summarize their
+            # content identity without streaming every row through Python
+            # — fingerprinting a 10M-row file must not materialize it.
+            feed(f"K{token()}{_ROW_END}")
+            continue
         for row in table.rows:
             for cell in row:
                 feed(_cell_token(cell))

@@ -13,18 +13,24 @@ Three execution modes reproduce the ladder of Table 6:
 from __future__ import annotations
 
 import enum
+import os
 import time
+import warnings
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
 from repro import faults
 from repro.budget import estimate_cube_cells
+from repro.db.adapters.base import (
+    StorageAdapter,
+    canonical_backend_name,
+    create_adapter,
+)
 from repro.db.aggregates import AggregateFunction, ratio_value
 from repro.db.cache import CacheEntry, ResultCache
 from repro.db.columnar import ExecutionBackend
-from repro.db.cube import ALL, CubeQuery, CubeResult, execute_cube
-from repro.db.executor import execute_query
+from repro.db.cube import ALL, CubeQuery
 from repro.db.gather import (
     SpaceEvalRequest,
     SpaceResults,
@@ -36,7 +42,6 @@ from repro.db.gather import (
     select_where,
     unique_values,
 )
-from repro.db.joins import JoinGraph
 from repro.db.query import AggregateSpec, ColumnRef, SimpleAggregateQuery, STAR
 from repro.db.schema import Database
 from repro.db.values import Value
@@ -73,6 +78,50 @@ class CubeCoverStrategy(enum.Enum):
     PAPER = "paper"
 
 
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to construct a :class:`QueryEngine`.
+
+    One frozen value threads from :class:`~repro.core.config.AggCheckerConfig`
+    through the CLI and service layer down to engine construction, replacing
+    the old kwarg sprawl (``mode=..., backend=..., disk_cache=...``). Derive
+    variants with :func:`dataclasses.replace`.
+    """
+
+    #: Batch evaluation strategy (Table 6 ladder).
+    mode: ExecutionMode = ExecutionMode.MERGED_CACHED
+    #: How covering cube dimension sets are chosen.
+    cover_strategy: CubeCoverStrategy = CubeCoverStrategy.EXACT
+    #: ``m`` in the paper's nG(x) = max(m, x-1) cover rule.
+    paper_max_predicates: int = 3
+    #: Storage-adapter name (``columnar``, ``row``, ``sqlite``,
+    #: ``duckdb``, or any :func:`~repro.db.adapters.register_adapter`-ed
+    #: extra). Accepts a legacy ``ExecutionBackend`` enum member and
+    #: normalizes it to its registry name.
+    backend: str = "columnar"
+    #: Directory for the persistent cube-cell disk cache (None disables
+    #: the disk tier). The engine constructs its own
+    #: :class:`~repro.db.diskcache.DiskCubeCache` over this directory;
+    #: sharing the directory between engines/processes is safe (entries
+    #: are content-fingerprint keyed).
+    cache_dir: "str | os.PathLike | None" = None
+    #: Skip the disk tier for databases smaller than this many total rows
+    #: (None = always use it when ``cache_dir`` is set).
+    disk_cache_min_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "backend", canonical_backend_name(self.backend)
+        )
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
+
+
+#: Sentinel distinguishing "not passed" from an explicit None in the
+#: deprecated QueryEngine keyword shims.
+_UNSET = object()
+
+
 @dataclass
 class EngineStats:
     """Counters for the processing experiments (Table 6).
@@ -102,6 +151,10 @@ class EngineStats:
     gathered_candidates: int = 0
     #: Corrupt disk-cache entries quarantined (recomputed on the spot).
     disk_corrupt: int = 0
+    #: Times the disk tier was skipped because the database fell under
+    #: ``disk_cache_min_rows`` (recomputing tiny cubes beats the disk
+    #: round-trip; the decision is counted, not silent).
+    disk_skipped_small: int = 0
     #: Documents whose inference fell back to a shrunken evaluation scope
     #: after the claim deadline expired (degradation-ladder rung 2).
     deadline_degraded: int = 0
@@ -138,6 +191,13 @@ class EngineStats:
     #: Scrubbed cells that failed the bit-identity comparison and were
     #: quarantined (``*.corrupt``).
     audit_cell_mismatches: int = 0
+    #: Statements the storage adapter pushed down into an external SQL
+    #: engine (SQLite/DuckDB). 0 for in-memory adapters.
+    pushdown_queries: int = 0
+    #: Rows of joined relations materialized as Python objects by the
+    #: storage adapter. Pushdown adapters keep this at 0 — the counter
+    #: out-of-core verification must hold flat.
+    rows_materialized: int = 0
 
     def reset(self) -> None:
         for spec in fields(self):
@@ -193,40 +253,99 @@ def _basis_spec(query: SimpleAggregateQuery) -> AggregateSpec:
 
 
 class QueryEngine:
-    """Evaluates batches of Simple Aggregate Queries against one database."""
+    """Evaluates batches of Simple Aggregate Queries against one database.
+
+    Construction takes an :class:`EngineConfig` (``QueryEngine(db)`` or
+    ``QueryEngine(db, EngineConfig(backend="sqlite"))``). The pre-adapter
+    keyword signature (``mode=``, ``backend=``, ``disk_cache=``, ...) still
+    works but emits :class:`DeprecationWarning`; a bare ``ExecutionMode``
+    second positional argument is likewise shimmed.
+    """
 
     def __init__(
         self,
         database: Database,
-        mode: ExecutionMode = ExecutionMode.MERGED_CACHED,
-        cover_strategy: CubeCoverStrategy = CubeCoverStrategy.EXACT,
-        paper_max_predicates: int = 3,
-        backend: ExecutionBackend = ExecutionBackend.COLUMNAR,
-        disk_cache: "DiskCubeCache | None" = None,
-        disk_cache_min_rows: int | None = None,
+        config: "EngineConfig | ExecutionMode | None" = None,
+        *,
+        mode=_UNSET,
+        cover_strategy=_UNSET,
+        paper_max_predicates=_UNSET,
+        backend=_UNSET,
+        disk_cache=_UNSET,
+        disk_cache_min_rows=_UNSET,
     ) -> None:
+        positional_mode = _UNSET
+        if isinstance(config, ExecutionMode):
+            if mode is not _UNSET:
+                raise TypeError("mode given both positionally and by keyword")
+            # Documented sugar, not a deprecated kwarg: QueryEngine(db,
+            # ExecutionMode.NAIVE) reads naturally and does not warn.
+            positional_mode = config
+            config = None
+        overrides = {
+            name: value
+            for name, value in (
+                ("mode", mode),
+                ("cover_strategy", cover_strategy),
+                ("paper_max_predicates", paper_max_predicates),
+                ("backend", backend),
+                ("disk_cache_min_rows", disk_cache_min_rows),
+            )
+            if value is not _UNSET
+        }
+        if overrides or disk_cache is not _UNSET:
+            warnings.warn(
+                "passing QueryEngine settings as keyword arguments is "
+                "deprecated; construct an EngineConfig and pass it as the "
+                "second argument (disk_cache= is replaced by "
+                "EngineConfig.cache_dir)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if positional_mode is not _UNSET:
+            overrides.setdefault("mode", positional_mode)
+        base = config if config is not None else EngineConfig()
+        self.config = replace(base, **overrides) if overrides else base
+
         self.database = database
-        self.mode = mode
-        self.cover_strategy = cover_strategy
-        self.paper_max_predicates = paper_max_predicates
-        self.backend = backend
+        self.mode = self.config.mode
+        self.cover_strategy = self.config.cover_strategy
+        self.paper_max_predicates = self.config.paper_max_predicates
+        self.adapter: StorageAdapter = create_adapter(
+            self.config.backend, database
+        )
+        #: Canonical storage-backend name; keys the disk cube-cache tier.
+        self.backend = self.adapter.name
+        self.join_graph = self.adapter.join_graph
+
+        if disk_cache is _UNSET or disk_cache is None:
+            disk_cache = None
+            if self.config.cache_dir is not None:
+                from repro.db.diskcache import DiskCubeCache
+
+                disk_cache = DiskCubeCache(self.config.cache_dir)
         # Tiny databases recompute a cube faster than a disk round-trip
         # (the 0.62x warm-cache regression in BENCH_pipeline.json): below
         # the row threshold the disk tier is skipped outright, counted so
         # operators can see the decision.
-        if (
+        skipped_small = (
             disk_cache is not None
-            and disk_cache_min_rows is not None
-            and sum(len(table.rows) for table in database.tables)
-            < disk_cache_min_rows
-        ):
+            and self.config.disk_cache_min_rows is not None
+            and database.total_rows() < self.config.disk_cache_min_rows
+        )
+        if skipped_small:
             disk_cache.stats.skipped_small += 1
             disk_cache = None
-        self.join_graph = JoinGraph(database, backend=backend)
         self.cache = ResultCache()
         self.disk_cache = disk_cache
         self._db_fingerprint: str | None = None
         self.stats = EngineStats()
+        if skipped_small:
+            self.stats.disk_skipped_small += 1
+        # Adapter-counter values already mirrored into EngineStats (the
+        # delta-sync pattern of ``_disk_corrupt_seen``).
+        self._adapter_pushdown_seen = 0
+        self._adapter_materialized_seen = 0
         #: Cooperative execution budget (see :mod:`repro.deadline`): when
         #: set, checked immediately before every physical cube or query
         #: execution — the expensive, unbounded work. The checker installs
@@ -257,10 +376,26 @@ class QueryEngine:
         :func:`repro.db.diskcache.fingerprint_of`.
         """
         if self._db_fingerprint is None:
-            from repro.db.diskcache import fingerprint_of
-
-            self._db_fingerprint = fingerprint_of(self.database)
+            self._db_fingerprint = self.adapter.fingerprint()
         return self._db_fingerprint
+
+    def close(self) -> None:
+        """Release adapter resources (SQL connections, file handles)."""
+        self.adapter.close()
+
+    def _sync_adapter_counters(self) -> None:
+        """Mirror adapter-owned counters into EngineStats (delta-wise;
+        the adapter may outlive several stats resets)."""
+        pushed = self.adapter.pushdown_queries
+        if pushed > self._adapter_pushdown_seen:
+            self.stats.pushdown_queries += pushed - self._adapter_pushdown_seen
+            self._adapter_pushdown_seen = pushed
+        materialized = self.adapter.rows_materialized
+        if materialized > self._adapter_materialized_seen:
+            self.stats.rows_materialized += (
+                materialized - self._adapter_materialized_seen
+            )
+            self._adapter_materialized_seen = materialized
 
     def evaluate_one(self, query: SimpleAggregateQuery) -> Value:
         """Evaluate a single query (always the naive path)."""
@@ -441,11 +576,12 @@ class QueryEngine:
         tables = self._query_tables(query)
         self._check_relation_budget(tables, "query-exec")
         start = time.perf_counter()
-        result = execute_query(self.database, query, self.join_graph)
+        result = self.adapter.execute_simple(query)
         self.stats.query_seconds += time.perf_counter() - start
         self.stats.physical_queries += 1
-        self.stats.rows_scanned += len(self.join_graph.relation(tables))
-        return result
+        self.stats.rows_scanned += result.rows_scanned
+        self._sync_adapter_counters()
+        return result.value
 
     # ------------------------------------------------------------------
     # Merged path
@@ -609,13 +745,12 @@ class QueryEngine:
                 aggregates=tuple(missing),
             )
             start = time.perf_counter()
-            result = execute_cube(
-                self.database, cube, self.join_graph, budget=self.budget
-            )
+            result = self.adapter.execute_cube(cube, budget=self.budget)
             self.stats.query_seconds += time.perf_counter() - start
             self.stats.cube_queries += 1
             self.stats.physical_queries += 1
             self.stats.rows_scanned += result.rows_scanned
+            self._sync_adapter_counters()
             for spec in missing:
                 cells = result.cells_for(spec)
                 entry = cache.put(tables, spec, dims, literal_map, cells)
@@ -623,7 +758,7 @@ class QueryEngine:
                 if self.disk_cache is not None:
                     self.disk_cache.store(
                         self.database_fingerprint,
-                        self.backend.value,
+                        self.backend,
                         tables,
                         spec,
                         dims,
@@ -657,11 +792,20 @@ class QueryEngine:
 
         The estimate (product of per-dimension literal cardinalities + 2,
         see :func:`repro.budget.estimate_cube_cells`) is computed before a
-        single row is touched, so an intractable cube is never built. The
+        single row is touched, so an intractable cube is never built. When
+        a cube-cell budget is actually installed, the adapter's predictive
+        join-cardinality estimate tightens the bound (cells cannot exceed
+        base groups, which cannot exceed relation rows). The
         ``budget.estimate`` fire point lets the chaos harness simulate an
         over-budget estimate without constructing a hostile database.
         """
-        estimate = estimate_cube_cells(dims, literal_map)
+        estimated_rows = None
+        if self.budget is not None and self.budget.max_cube_cells is not None:
+            estimated_rows = self.adapter.estimated_cardinality(tables)
+            self._sync_adapter_counters()
+        estimate = estimate_cube_cells(
+            dims, literal_map, estimated_rows=estimated_rows
+        )
         try:
             faults.fire(
                 "budget.estimate", ",".join(sorted(tables)), estimate
@@ -682,22 +826,40 @@ class QueryEngine:
     def _check_relation_budget(
         self, tables: frozenset[str], stage: str
     ) -> None:
-        """Bound the materialized join backing a query or cube.
+        """Bound the relation backing a query or cube, predictively.
 
-        Join results are memoized per table set, so counting rows here is
-        at worst the one materialization the engine was about to do
-        anyway; FK-tree joins cannot exceed the fact-table row count, so
-        the check also bounds every later scan over the relation.
+        ``max_rows`` budgets Python-side *materialization*, so the check
+        consults the adapter's capabilities: a pushdown adapter never pulls
+        the relation into Python (it streams paginated cells, bounded by
+        ``check_cube`` during rollup), which is exactly what makes
+        out-of-core verification work — a 10M-row SQLite file verifies
+        under a tiny ``max_rows_materialized``. For in-memory adapters the
+        relation *is* the materialization, so the engine first checks the
+        adapter's *estimated* cardinality — a join-fan-out upper bound
+        computed without materializing anything — and only when that
+        pessimistic bound would reject does it pay for the exact count (at
+        worst the one materialization it was about to do anyway), so an
+        over-estimate never causes a false rejection and an actually
+        oversized join is refused before any Python-side materialization.
         """
         if self.budget is None or self.budget.max_rows is None:
             return
+        if self.adapter.capabilities.pushdown:
+            return
         try:
             self.budget.check_rows(
-                len(self.join_graph.relation(tables)), stage
+                self.adapter.estimated_cardinality(tables), stage
             )
         except BudgetExceeded:
-            self.stats.budget_rejections += 1
-            raise
+            try:
+                self.budget.check_rows(
+                    self.adapter.exact_cardinality(tables), stage
+                )
+            except BudgetExceeded:
+                self.stats.budget_rejections += 1
+                raise
+        finally:
+            self._sync_adapter_counters()
 
     def _sync_disk_corrupt(self) -> None:
         """Mirror newly-quarantined disk-cache entries into EngineStats."""
@@ -719,7 +881,7 @@ class QueryEngine:
         """Second-tier lookup: seed the in-memory cache from disk."""
         loaded = self.disk_cache.load(
             self.database_fingerprint,
-            self.backend.value,
+            self.backend,
             tables,
             spec,
             dims,

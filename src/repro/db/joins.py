@@ -133,6 +133,11 @@ class JoinGraph:
             self._relations[key] = self._build_relation(key)
         return self._relations[key]
 
+    def is_materialized(self, tables: Iterable[str]) -> bool:
+        """Whether the joined relation for ``tables`` is already memoized
+        (lets callers attribute materialization cost to the first build)."""
+        return frozenset(tables) in self._relations
+
     def encoded_table(self, name: str) -> EncodedTable:
         """Dictionary-encode a base table once; reused by every join."""
         if name not in self._encoded:

@@ -107,6 +107,19 @@ class Table:
     def numeric_columns(self) -> list[Column]:
         return [c for c in self.columns if c.type is ColumnType.NUMERIC]
 
+    def with_columns(self, columns: Sequence[Column]) -> "Table":
+        """Clone this table with replaced column metadata, sharing row
+        storage. Storage-backed subclasses override this so metadata
+        updates (data dictionaries) never force row materialization."""
+        if len(columns) != len(self.columns):
+            raise SchemaError(
+                f"with_columns: expected {len(self.columns)} columns, "
+                f"got {len(columns)}"
+            )
+        clone = Table(self.name, columns, primary_key=self.primary_key)
+        clone.rows = self.rows
+        return clone
+
     def distinct_values(self, name: str, limit: int | None = None) -> list[Value]:
         """Distinct non-missing values of a column in first-seen order."""
         seen: dict[str, Value] = {}

@@ -31,7 +31,13 @@ _PREDICATE_RE = re.compile(
 
 
 def render_sql(query: SimpleAggregateQuery) -> str:
-    """Render a query in the paper's SQL style (condition predicate first)."""
+    """Render a query in the paper's SQL style (condition predicate first).
+
+    This is the *display/annotation* form: literals are inlined (with
+    ``''`` escaping) and identifiers are bare, exactly as the corpus
+    ground-truth files write them. Never feed this string to a real SQL
+    engine — use :func:`render_sql_parameterized` for executable SQL.
+    """
     tables = sorted(query.referenced_tables()) or ["T"]
     from_clause = " JOIN ".join(tables)
     select = f"SELECT {query.aggregate.function.sql_name}({_render_column(query.aggregate.column)})"
@@ -44,6 +50,48 @@ def render_sql(query: SimpleAggregateQuery) -> str:
         )
         parts.append(f"WHERE {rendered}")
     return " ".join(parts)
+
+
+def quote_identifier(name: str) -> str:
+    """Quote a table or column name for executable SQL (``"`` doubling).
+
+    Shared by every SQL storage adapter: scraped CSV headers routinely
+    contain spaces, quotes, and keywords, so identifiers are always
+    quoted rather than validated.
+    """
+    if "\x00" in name:
+        raise SqlParseError(f"identifier contains NUL byte: {name!r}")
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def render_sql_parameterized(
+    query: SimpleAggregateQuery,
+) -> tuple[str, tuple[Value, ...]]:
+    """Render a query as executable SQL with ``?`` placeholders.
+
+    Returns ``(sql, params)`` in qmark style (shared by the SQLite and
+    DuckDB adapters). Unlike :func:`render_sql`, identifiers are quoted
+    and literals travel out-of-band as bind parameters, so hostile
+    values in claims or scraped data cannot change the statement.
+    """
+    tables = sorted(query.referenced_tables()) or ["T"]
+    from_clause = " JOIN ".join(quote_identifier(table) for table in tables)
+    column = query.aggregate.column
+    arg = "*" if column.is_star else quote_identifier(column.column)
+    parts = [
+        f"SELECT {query.aggregate.function.sql_name}({arg})",
+        f"FROM {from_clause}",
+    ]
+    params: list[Value] = []
+    predicates = query.all_predicates
+    if predicates:
+        clauses = []
+        for predicate in predicates:
+            clauses.append(f"{quote_identifier(predicate.column.column)} = ?")
+            params.append(predicate.value)
+        parts.append("WHERE " + " AND ".join(clauses))
+    return " ".join(parts), tuple(params)
 
 
 def parse_query(sql: str, database: Database) -> SimpleAggregateQuery:

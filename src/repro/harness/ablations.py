@@ -119,6 +119,6 @@ def run_ladder(
     runs = []
     for name, config in ladder:
         if cache_dir is not None:
-            config = replace(config, cache_dir=cache_dir)
+            config = config.with_engine(cache_dir=cache_dir)
         runs.append((name, run_corpus(corpus, config, limit, workers=workers)))
     return runs

@@ -345,11 +345,7 @@ class QueueService:
         checker = prepared.entry.checker
         database = checker.database if checker is not None else None
         n_tables = len(database.tables) if database is not None else 1
-        n_rows = (
-            sum(len(table.rows) for table in database.tables)
-            if database is not None
-            else 0
-        )
+        n_rows = database.total_rows() if database is not None else 0
         cost = max(1, n_tables) * max(1, n_rows) * max(1, len(prepared.claims))
         try:
             faults.fire("admission.cost", client, cost)

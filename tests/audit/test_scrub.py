@@ -20,7 +20,15 @@ from repro.audit.scrub import (
     scrub_journal,
     scrub_state,
 )
-from repro.db import Column, ColumnType, Database, DiskCubeCache, QueryEngine, Table
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    DiskCubeCache,
+    EngineConfig,
+    QueryEngine,
+    Table,
+)
 from repro.db.diskcache import fingerprint_of
 from repro.db.engine import EngineStats
 from repro.faults import FaultSpec, active
@@ -47,7 +55,7 @@ def count_by_kind(db):
 
 def warm_cache(tmp_path, db=None):
     db = db or small_db()
-    QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+    QueryEngine(db, EngineConfig(cache_dir=tmp_path)).evaluate(
         [count_by_kind(db)]
     )
     return db
@@ -92,8 +100,8 @@ class TestDiskCacheStructural:
         db = small_db()
         with active(FaultSpec("audit.bitflip", "bitflip", match="*.cube")):
             warm_cache(tmp_path, db)
-        cache = DiskCubeCache(tmp_path)
-        engine = QueryEngine(db, disk_cache=cache)
+        engine = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
+        cache = engine.disk_cache
         results = engine.evaluate([count_by_kind(db)])
         assert results[count_by_kind(db)] == 2  # recomputed, still right
         assert cache.stats.corrupt == 1
@@ -168,20 +176,24 @@ class TestInvalidateAndMinRows:
 
     def test_min_rows_threshold_skips_the_disk_tier(self, tmp_path):
         db = small_db()  # 4 rows
-        cache = DiskCubeCache(tmp_path)
-        engine = QueryEngine(db, disk_cache=cache, disk_cache_min_rows=100)
+        engine = QueryEngine(
+            db, EngineConfig(cache_dir=tmp_path, disk_cache_min_rows=100)
+        )
         results = engine.evaluate([count_by_kind(db)])
         assert results[count_by_kind(db)] == 2
-        assert cache.stats.skipped_small == 1
+        assert engine.disk_cache is None
+        assert engine.stats.disk_skipped_small == 1
         assert engine.stats.disk_hits == engine.stats.disk_misses == 0
         assert not list(tmp_path.glob("*.cube"))
 
     def test_min_rows_threshold_admits_large_databases(self, tmp_path):
         db = small_db()
-        cache = DiskCubeCache(tmp_path)
-        engine = QueryEngine(db, disk_cache=cache, disk_cache_min_rows=4)
+        engine = QueryEngine(
+            db, EngineConfig(cache_dir=tmp_path, disk_cache_min_rows=4)
+        )
         engine.evaluate([count_by_kind(db)])
-        assert cache.stats.skipped_small == 0
+        assert engine.stats.disk_skipped_small == 0
+        assert engine.disk_cache.stats.skipped_small == 0
         assert list(tmp_path.glob("*.cube"))
 
     def test_stats_field_exists(self):

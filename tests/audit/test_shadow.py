@@ -15,7 +15,7 @@ import pytest
 from repro.audit.shadow import ShadowAuditor
 from repro.audit.trust import TrustLevel
 from repro.core.config import AggCheckerConfig
-from repro.db import Database, load_csv
+from repro.db import Database, EngineConfig, load_csv
 from repro.db.diskcache import fingerprint_of
 from repro.faults import FaultSpec, active
 
@@ -78,11 +78,10 @@ class TestSampling:
         assert auditor.dropped_tasks == 2
 
     def test_oracle_config_strips_every_cache_and_budget(self):
-        from repro.db.engine import ExecutionBackend, ExecutionMode
+        from repro.db.engine import ExecutionMode
 
         stub = SimpleNamespace(
             config=AggCheckerConfig(
-                cache_dir=None,
                 claim_deadline=2.0,
                 max_rows_materialized=10,
                 max_cube_cells=10,
@@ -90,7 +89,7 @@ class TestSampling:
         )
         oracle = ShadowAuditor(stub, rate=1.0).oracle_config()
         assert oracle.execution_mode is ExecutionMode.NAIVE
-        assert oracle.backend is ExecutionBackend.ROW
+        assert oracle.backend == "row"
         assert oracle.cache_dir is None
         assert oracle.claim_deadline is None
         assert oracle.max_rows_materialized is None
@@ -217,7 +216,7 @@ class TestCellScrub:
     def test_each_audit_deep_scrubs_disk_cache_cells(
         self, data_files, tmp_path
     ):
-        config = AggCheckerConfig(cache_dir=str(tmp_path / "cube-cache"))
+        config = AggCheckerConfig(engine=EngineConfig(cache_dir=str(tmp_path / "cube-cache")))
         server = serve(workers=1, audit_rate=1.0, config=config)
         try:
             server.service.auditor.scrub_cells = 100
@@ -233,7 +232,7 @@ class TestCellScrub:
         self, data_files, tmp_path
     ):
         cache_dir = tmp_path / "cube-cache"
-        config = AggCheckerConfig(cache_dir=str(cache_dir))
+        config = AggCheckerConfig(engine=EngineConfig(cache_dir=str(cache_dir)))
         server = serve(workers=1, audit_rate=1.0, config=config)
         fp = nfl_fingerprint(data_files)
         try:

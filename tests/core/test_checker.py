@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import AggChecker, VerdictStatus, render_markup
-from repro.db import Column, ColumnType, Database, ExecutionMode, Table
+from repro.db import Column, ColumnType, Database, EngineConfig, ExecutionMode, Table
 from repro.core.config import AggCheckerConfig
 
 from tests.conftest import NFL_ROWS
@@ -110,7 +110,7 @@ class TestErroneousClaim:
 
 class TestConfigurations:
     def test_naive_mode_same_verdicts(self):
-        config = AggCheckerConfig(execution_mode=ExecutionMode.NAIVE)
+        config = AggCheckerConfig(engine=EngineConfig(mode=ExecutionMode.NAIVE))
         checker = AggChecker(build_db(), config)
         report = checker.check_html(PAPER_HTML)
         assert [v.status for v in report.verdicts] == [VerdictStatus.VERIFIED] * 3

@@ -1,0 +1,303 @@
+"""The storage-adapter API: registry, capabilities, EngineConfig, the
+deprecation shims over the old flat constructor kwargs, and predictive
+cardinality estimates feeding budget admission."""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.budget import ResourceBudget, estimate_cube_cells
+from repro.core.config import AggCheckerConfig
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    EngineConfig,
+    ExecutionMode,
+    ForeignKey,
+    QueryEngine,
+    Table,
+    adapter_names,
+    canonical_backend_name,
+    create_adapter,
+    parse_query,
+)
+from repro.db.adapters import (
+    ColumnarAdapter,
+    DuckdbAdapter,
+    RowAdapter,
+    SqliteAdapter,
+)
+from repro.db.adapters.base import adapter_class
+from repro.db.columnar import ExecutionBackend
+from repro.errors import BudgetExceeded, MissingDependencyError, QueryError
+
+
+def small_db() -> Database:
+    table = Table(
+        "events",
+        [Column("kind"), Column("score", ColumnType.NUMERIC)],
+        [("a", 1), ("a", 2), ("b", 3), (None, 4)],
+    )
+    return Database("d", [table])
+
+
+def fanout_db(n_players_per_team=4, n_teams=3) -> Database:
+    teams = Table(
+        "teams",
+        [Column("team_id"), Column("league")],
+        [(f"t{i}", "east") for i in range(n_teams)],
+        primary_key="team_id",
+    )
+    players = Table(
+        "players",
+        [Column("player_id"), Column("team"), Column("salary", ColumnType.NUMERIC)],
+        [
+            (f"p{t}-{i}", f"t{t}", 100 + i)
+            for t in range(n_teams)
+            for i in range(n_players_per_team)
+        ],
+        primary_key="player_id",
+    )
+    return Database(
+        "sports",
+        [players, teams],
+        [ForeignKey("players", "team", "teams", "team_id")],
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered_in_fixed_order(self):
+        names = adapter_names()
+        assert names[:4] == ["columnar", "row", "sqlite", "duckdb"]
+
+    def test_canonical_name_accepts_enum_and_string(self):
+        assert canonical_backend_name(ExecutionBackend.ROW) == "row"
+        assert canonical_backend_name("  SQLite ") == "sqlite"
+        assert canonical_backend_name("columnar") == "columnar"
+
+    def test_unknown_backend_is_a_query_error(self):
+        with pytest.raises(QueryError, match="unknown storage backend"):
+            canonical_backend_name("parquet")
+
+    def test_adapter_classes(self):
+        assert adapter_class("columnar") is ColumnarAdapter
+        assert adapter_class("row") is RowAdapter
+        assert adapter_class("sqlite") is SqliteAdapter
+        assert adapter_class("duckdb") is DuckdbAdapter
+
+    def test_create_adapter_instantiates(self):
+        adapter = create_adapter("sqlite", small_db())
+        try:
+            assert adapter.name == "sqlite"
+        finally:
+            adapter.close()
+
+    def test_missing_optional_dependency_is_structured(self):
+        if DuckdbAdapter.available():
+            pytest.skip("duckdb installed; absence path not reachable")
+        with pytest.raises(MissingDependencyError, match="duckdb"):
+            create_adapter("duckdb", small_db())
+
+
+class TestCapabilities:
+    def test_in_memory_adapters_do_not_push_down(self):
+        for cls in (ColumnarAdapter, RowAdapter):
+            assert not cls.capabilities.pushdown
+            assert not cls.capabilities.pagination
+            assert cls.capabilities.estimates_cardinality
+
+    def test_sql_adapters_push_down_and_paginate(self):
+        for cls in (SqliteAdapter, DuckdbAdapter):
+            assert cls.capabilities.pushdown
+            assert cls.capabilities.pagination
+            assert cls.capabilities.estimates_cardinality
+
+    def test_engine_exposes_adapter(self):
+        engine = QueryEngine(small_db(), EngineConfig(backend="sqlite"))
+        assert engine.backend == "sqlite"
+        assert engine.adapter.capabilities.pushdown
+        engine.close()
+
+
+class TestEngineConfig:
+    def test_backend_canonicalized_at_construction(self):
+        assert EngineConfig(backend=ExecutionBackend.ROW).backend == "row"
+        assert EngineConfig(backend="SQLITE").backend == "sqlite"
+
+    def test_cache_dir_fspathed(self, tmp_path):
+        assert EngineConfig(cache_dir=tmp_path).cache_dir == str(tmp_path)
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(QueryError):
+            EngineConfig(backend="orc")
+
+    def test_replace_with_engine_round_trip(self):
+        config = AggCheckerConfig()
+        varied = config.with_engine(backend="sqlite", cache_dir=None)
+        assert varied.engine.backend == "sqlite"
+        # The nested engine survives an unrelated replace().
+        assert replace(varied, predicate_hits=5).engine.backend == "sqlite"
+        # An explicit engine= replacement wins outright.
+        swapped = replace(varied, engine=EngineConfig(backend="row"))
+        assert swapped.engine.backend == "row"
+
+    def test_replace_does_not_warn(self):
+        config = AggCheckerConfig()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            replace(config, predicate_hits=3)
+            config.with_engine(backend="row")
+
+
+class TestDeprecationShims:
+    def test_engine_keyword_backend_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            engine = QueryEngine(small_db(), backend="row")
+        assert engine.backend == "row"
+
+    def test_engine_disk_cache_keyword_warns(self, tmp_path):
+        from repro.db.diskcache import DiskCubeCache
+
+        with pytest.warns(DeprecationWarning, match="cache_dir"):
+            engine = QueryEngine(small_db(), disk_cache=DiskCubeCache(tmp_path))
+        assert engine.disk_cache is not None
+
+    def test_positional_mode_is_sugar_not_deprecated(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = QueryEngine(small_db(), ExecutionMode.NAIVE)
+        assert engine.mode is ExecutionMode.NAIVE
+
+    def test_positional_mode_conflicts_with_keyword(self):
+        with pytest.raises(TypeError, match="positionally"):
+            QueryEngine(small_db(), ExecutionMode.NAIVE, mode=ExecutionMode.MERGED)
+
+    def test_config_flat_kwargs_warn_and_map(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="with_engine"):
+            config = AggCheckerConfig(
+                execution_mode=ExecutionMode.NAIVE,
+                backend="row",
+                cache_dir=str(tmp_path),
+                disk_cache_min_rows=7,
+            )
+        assert config.engine.mode is ExecutionMode.NAIVE
+        assert config.engine.backend == "row"
+        assert config.engine.cache_dir == str(tmp_path)
+        assert config.engine.disk_cache_min_rows == 7
+
+    def test_config_flat_reads_are_properties(self):
+        config = AggCheckerConfig()
+        assert config.execution_mode is config.engine.mode
+        assert config.backend == config.engine.backend == "columnar"
+        assert config.cache_dir is None
+        assert config.disk_cache_min_rows is None
+
+    def test_modern_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            QueryEngine(small_db(), EngineConfig(mode=ExecutionMode.NAIVE))
+            AggCheckerConfig(engine=EngineConfig(backend="row"))
+
+
+class TestCardinalityEstimates:
+    @pytest.mark.parametrize("backend", ["columnar", "row", "sqlite"])
+    def test_estimate_bounds_exact(self, backend):
+        db = fanout_db()
+        adapter = create_adapter(backend, db)
+        try:
+            tables = frozenset(["players", "teams"])
+            estimate = adapter.estimated_cardinality(tables)
+            exact = adapter.exact_cardinality(tables)
+            assert estimate >= exact == 12
+        finally:
+            adapter.close()
+
+    def test_in_memory_estimate_accounts_for_fanout(self):
+        # Joining teams -> players multiplies by the players-per-team
+        # multiplicity; the old len(first_table) estimate missed this.
+        db = fanout_db(n_players_per_team=4, n_teams=3)
+        adapter = create_adapter("columnar", db)
+        tables = frozenset(["players", "teams"])
+        assert adapter.estimated_cardinality(tables) >= 12
+
+    def test_estimate_cube_cells_uses_row_bound(self):
+        dims = ("a", "b", "c")
+        literals = {d: frozenset({"x", "y", "z"}) for d in dims}
+        unbounded = estimate_cube_cells(dims, literals)
+        assert unbounded == 5**3
+        # 2 rows can produce at most 2 base groups, each contributing to
+        # 2^d rollup arms.
+        assert estimate_cube_cells(dims, literals, estimated_rows=2) == 2 * 8
+        # A huge row count never raises the literal-based bound.
+        assert (
+            estimate_cube_cells(dims, literals, estimated_rows=10**9)
+            == unbounded
+        )
+        assert estimate_cube_cells(dims, literals, estimated_rows=0) == 0
+
+    @pytest.mark.parametrize("backend", ["columnar", "row"])
+    def test_budget_rejects_before_materializing(self, backend):
+        db = fanout_db()
+        engine = QueryEngine(db, EngineConfig(backend=backend))
+        engine.budget = ResourceBudget(max_rows=3)
+        query = parse_query(
+            "SELECT Sum(salary) FROM players JOIN teams WHERE league = 'east'",
+            db,
+        )
+        with pytest.raises(BudgetExceeded):
+            engine.evaluate([query])
+        assert engine.stats.budget_rejections == 1
+        engine.close()
+
+    def test_pushdown_adapter_exempt_from_rows_budget(self):
+        # max_rows bounds Python-side materialization; the pushdown tier
+        # never materializes the relation, so the same budget that rejects
+        # the in-memory join admits it — this is the out-of-core contract.
+        db = fanout_db()
+        engine = QueryEngine(db, EngineConfig(backend="sqlite"))
+        engine.budget = ResourceBudget(max_rows=3)
+        query = parse_query(
+            "SELECT Sum(salary) FROM players JOIN teams WHERE league = 'east'",
+            db,
+        )
+        results = engine.evaluate([query])
+        assert results[query] == sum(100 + i for _ in range(3) for i in range(4))
+        assert engine.stats.budget_rejections == 0
+        assert engine.stats.rows_materialized == 0
+        engine.close()
+
+    def test_budget_admits_exactly_at_the_limit(self):
+        db = fanout_db()
+        engine = QueryEngine(db, EngineConfig(backend="columnar"))
+        engine.budget = ResourceBudget(max_rows=12)
+        query = parse_query(
+            "SELECT Sum(salary) FROM players JOIN teams WHERE league = 'east'",
+            db,
+        )
+        results = engine.evaluate([query])
+        assert results[query] == sum(100 + i for _ in range(3) for i in range(4))
+        assert engine.stats.budget_rejections == 0
+        engine.close()
+
+
+class TestEngineStatsSurface:
+    def test_pushdown_counters_flow_into_stats(self):
+        db = small_db()
+        engine = QueryEngine(db, EngineConfig(backend="sqlite"))
+        query = parse_query("SELECT Count(*) FROM events WHERE kind = 'a'", db)
+        assert engine.evaluate([query])[query] == 2
+        assert engine.stats.pushdown_queries >= 1
+        assert engine.stats.rows_materialized == 0
+        engine.close()
+
+    def test_in_memory_backend_counts_materialization(self):
+        db = small_db()
+        engine = QueryEngine(db, EngineConfig(backend="columnar"))
+        query = parse_query("SELECT Count(*) FROM events WHERE kind = 'a'", db)
+        engine.evaluate([query])
+        assert engine.stats.pushdown_queries == 0
+        assert engine.stats.rows_materialized == len(db.tables[0].rows)

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.db import (
     CubeCoverStrategy,
+    EngineConfig,
     ExecutionMode,
     QueryEngine,
     parse_query,
@@ -31,23 +32,22 @@ def queries_for(nfl_db):
 class TestPaperCover:
     def test_matches_naive(self, nfl_db):
         queries = queries_for(nfl_db)
-        naive = QueryEngine(nfl_db, ExecutionMode.NAIVE).evaluate(queries)
-        paper = QueryEngine(
-            nfl_db, cover_strategy=CubeCoverStrategy.PAPER
-        ).evaluate(queries)
+        naive = QueryEngine(nfl_db, EngineConfig(mode=ExecutionMode.NAIVE)).evaluate(queries)
+        paper = QueryEngine(nfl_db, EngineConfig(cover_strategy=CubeCoverStrategy.PAPER
+        )).evaluate(queries)
         for query in queries:
             assert paper[query] == pytest.approx(naive[query])
 
     def test_overlapping_cubes_cover_all_subsets(self, nfl_db):
         """nG-sized dim sets can serve any candidate with <= m predicates."""
-        engine = QueryEngine(nfl_db, cover_strategy=CubeCoverStrategy.PAPER)
+        engine = QueryEngine(nfl_db, EngineConfig(cover_strategy=CubeCoverStrategy.PAPER))
         queries = queries_for(nfl_db)
         engine.evaluate(queries)
         # The scope spans 4 predicate columns -> nG = 3-sized dim sets.
         assert engine.stats.cube_queries >= 1
 
     def test_cache_reuse_across_calls(self, nfl_db):
-        engine = QueryEngine(nfl_db, cover_strategy=CubeCoverStrategy.PAPER)
+        engine = QueryEngine(nfl_db, EngineConfig(cover_strategy=CubeCoverStrategy.PAPER))
         queries = queries_for(nfl_db)
         engine.evaluate(queries)
         physical = engine.stats.physical_queries
@@ -67,10 +67,9 @@ class TestPaperCover:
 )
 def test_paper_cover_equivalent_to_naive(database, queries):
     """Property: the PAPER cover answers every query like the naive engine."""
-    naive = QueryEngine(database, ExecutionMode.NAIVE).evaluate(queries)
-    paper = QueryEngine(
-        database, cover_strategy=CubeCoverStrategy.PAPER
-    ).evaluate(queries)
+    naive = QueryEngine(database, EngineConfig(mode=ExecutionMode.NAIVE)).evaluate(queries)
+    paper = QueryEngine(database, EngineConfig(cover_strategy=CubeCoverStrategy.PAPER
+    )).evaluate(queries)
     for query in set(queries):
         expected = naive[query]
         actual = paper[query]

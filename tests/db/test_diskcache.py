@@ -11,7 +11,7 @@ from repro.db import (
     Column,
     ColumnType,
     Database,
-    DiskCubeCache,
+    EngineConfig,
     EngineStats,
     ExecutionMode,
     ForeignKey,
@@ -92,13 +92,13 @@ def count_by_kind(db):
 class TestDiskTier:
     def test_second_engine_serves_from_disk(self, tmp_path):
         db = small_db()
-        cold = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        cold = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         cold_results = cold.evaluate([count_by_kind(db)])
         assert cold.stats.cube_queries == 1
         assert cold.stats.disk_misses == 1
         assert cold.stats.disk_hits == 0
 
-        warm = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        warm = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         warm_results = warm.evaluate([count_by_kind(db)])
         assert warm_results == cold_results
         assert warm.stats.cube_queries == 0
@@ -107,13 +107,13 @@ class TestDiskTier:
 
     def test_uncovered_literal_is_miss_then_merges(self, tmp_path):
         db = small_db()
-        first = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        first = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         first.evaluate([count_by_kind(db)])
 
         other = parse_query(
             "SELECT Count(*) FROM events WHERE kind = 'b'", db
         )
-        second = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        second = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         results = second.evaluate([other])
         assert results[other] == 1
         assert second.stats.disk_misses == 1
@@ -121,7 +121,7 @@ class TestDiskTier:
 
         # The store merged coverage: a third engine answers both literals
         # from disk.
-        third = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        third = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         both = third.evaluate([count_by_kind(db), other])
         assert both[other] == 1
         assert third.stats.cube_queries == 0
@@ -129,12 +129,12 @@ class TestDiskTier:
 
     def test_corrupt_entry_degrades_to_miss(self, tmp_path):
         db = small_db()
-        QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+        QueryEngine(db, EngineConfig(cache_dir=tmp_path)).evaluate(
             [count_by_kind(db)]
         )
         for path in tmp_path.glob("*.cube"):
             path.write_bytes(b"not a pickle")
-        engine = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        engine = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         results = engine.evaluate([count_by_kind(db)])
         assert results[count_by_kind(db)] == 2
         assert engine.stats.disk_hits == 0
@@ -143,7 +143,7 @@ class TestDiskTier:
     @pytest.mark.faults
     def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
         db = small_db()
-        QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+        QueryEngine(db, EngineConfig(cache_dir=tmp_path)).evaluate(
             [count_by_kind(db)]
         )
         cube_names = {path.name for path in tmp_path.glob("*.cube")}
@@ -151,8 +151,8 @@ class TestDiskTier:
         for path in tmp_path.glob("*.cube"):
             path.write_bytes(b"not a pickle")
 
-        cache = DiskCubeCache(tmp_path)
-        engine = QueryEngine(db, disk_cache=cache)
+        engine = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
+        cache = engine.disk_cache
         results = engine.evaluate([count_by_kind(db)])
         assert results[count_by_kind(db)] == 2
         # The bad file was moved aside (kept for post-mortem, never
@@ -165,7 +165,7 @@ class TestDiskTier:
         assert quarantined == {name + ".corrupt" for name in cube_names}
         assert {path.name for path in tmp_path.glob("*.cube")} == cube_names
 
-        fresh = QueryEngine(db, disk_cache=DiskCubeCache(tmp_path))
+        fresh = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
         fresh.evaluate([count_by_kind(db)])
         assert fresh.stats.disk_hits == 1
         assert fresh.stats.disk_corrupt == 0
@@ -178,11 +178,11 @@ class TestDiskTier:
         from repro.faults import FaultSpec, active
 
         db = small_db()
-        QueryEngine(db, disk_cache=DiskCubeCache(tmp_path)).evaluate(
+        QueryEngine(db, EngineConfig(cache_dir=tmp_path)).evaluate(
             [count_by_kind(db)]
         )
-        cache = DiskCubeCache(tmp_path)
-        engine = QueryEngine(db, disk_cache=cache)
+        engine = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
+        cache = engine.disk_cache
         with active(FaultSpec("diskcache.read", "corrupt", match="*.cube")):
             results = engine.evaluate([count_by_kind(db)])
         assert results[count_by_kind(db)] == 2
@@ -192,21 +192,15 @@ class TestDiskTier:
         assert list(tmp_path.glob("*.cube.corrupt"))
 
     def test_backends_never_exchange_cells(self, tmp_path):
-        from repro.db import ExecutionBackend
-
         db = small_db()
         columnar = QueryEngine(
-            db,
-            backend=ExecutionBackend.COLUMNAR,
-            disk_cache=DiskCubeCache(tmp_path),
+            db, EngineConfig(backend="columnar", cache_dir=tmp_path)
         )
         columnar.evaluate([count_by_kind(db)])
         # The row-wise engine has (documented) different edge-case
         # semantics; it must not read the columnar engine's cells.
         row = QueryEngine(
-            db,
-            backend=ExecutionBackend.ROW,
-            disk_cache=DiskCubeCache(tmp_path),
+            db, EngineConfig(backend="row", cache_dir=tmp_path)
         )
         row.evaluate([count_by_kind(db)])
         assert row.stats.disk_hits == 0
@@ -215,17 +209,17 @@ class TestDiskTier:
     def test_naive_mode_ignores_disk_cache(self, tmp_path):
         db = small_db()
         engine = QueryEngine(
-            db, ExecutionMode.NAIVE, disk_cache=DiskCubeCache(tmp_path)
+            db, EngineConfig(mode=ExecutionMode.NAIVE, cache_dir=tmp_path)
         )
         engine.evaluate([count_by_kind(db)])
         assert engine.stats.disk_hits == engine.stats.disk_misses == 0
 
     def test_clear_removes_entries(self, tmp_path):
         db = small_db()
-        cache = DiskCubeCache(tmp_path)
-        QueryEngine(db, disk_cache=cache).evaluate([count_by_kind(db)])
+        engine = QueryEngine(db, EngineConfig(cache_dir=tmp_path))
+        engine.evaluate([count_by_kind(db)])
         assert list(tmp_path.glob("*.cube"))
-        cache.clear()
+        engine.disk_cache.clear()
         assert not list(tmp_path.glob("*.cube"))
 
 
@@ -241,13 +235,13 @@ class TestCsvInvalidation:
         csv_path.write_text(self.CSV)
 
         db = self._database(csv_path)
-        engine = QueryEngine(db, disk_cache=DiskCubeCache(cache_dir))
+        engine = QueryEngine(db, EngineConfig(cache_dir=cache_dir))
         assert engine.evaluate([count_by_kind(db)])[count_by_kind(db)] == 2
 
         # The data changes: another 'a' row lands in the CSV.
         csv_path.write_text(self.CSV + "a,9\n")
         updated = self._database(csv_path)
-        fresh = QueryEngine(updated, disk_cache=DiskCubeCache(cache_dir))
+        fresh = QueryEngine(updated, EngineConfig(cache_dir=cache_dir))
         query = count_by_kind(updated)
         # New fingerprint: the stale cached cell (2) must not be served.
         assert fresh.evaluate([query])[query] == 3
@@ -260,12 +254,12 @@ class TestCsvInvalidation:
         cache_dir = tmp_path / "cache"
         csv_path.write_text(self.CSV)
         first = self._database(csv_path)
-        QueryEngine(first, disk_cache=DiskCubeCache(cache_dir)).evaluate(
+        QueryEngine(first, EngineConfig(cache_dir=cache_dir)).evaluate(
             [count_by_kind(first)]
         )
         # Re-reading the identical file yields the same fingerprint.
         again = self._database(csv_path)
-        engine = QueryEngine(again, disk_cache=DiskCubeCache(cache_dir))
+        engine = QueryEngine(again, EngineConfig(cache_dir=cache_dir))
         engine.evaluate([count_by_kind(again)])
         assert engine.stats.disk_hits == 1
         assert engine.stats.cube_queries == 0

@@ -14,7 +14,10 @@ from repro.db import (
     parse_query,
     render_sql,
 )
-from repro.db.sql import describe_query
+from hypothesis import given, settings
+
+from repro.db.sql import describe_query, quote_identifier, render_sql_parameterized
+from tests.db.strategies import claim_queries
 from repro.errors import QueryError, SqlParseError
 
 
@@ -195,3 +198,87 @@ class TestDescribe:
             AggregateSpec(AggregateFunction.AVG, YEAR)
         )
         assert describe_query(query) == "the average of 'Year' values"
+
+
+class TestQuoteIdentifier:
+    def test_plain_name_is_quoted(self):
+        assert quote_identifier("Games") == '"Games"'
+
+    def test_embedded_quote_doubled(self):
+        assert quote_identifier('drink "type"') == '"drink ""type"""'
+
+    def test_spaces_keywords_and_unicode_survive(self):
+        for name in ("café sales", "select", "a b c", "préis", "抹茶"):
+            quoted = quote_identifier(name)
+            assert quoted[0] == quoted[-1] == '"'
+            assert quoted[1:-1].replace('""', '"') == name
+
+    def test_nul_byte_rejected(self):
+        with pytest.raises(SqlParseError, match="NUL"):
+            quote_identifier("bad\x00name")
+
+
+class TestParameterizedSql:
+    def test_literals_travel_as_params(self):
+        query = count_star(
+            Predicate(GAMES, "indef"), Predicate(CATEGORY, "gambling")
+        )
+        sql, params = render_sql_parameterized(query)
+        assert sql == (
+            'SELECT Count(*) FROM "nflsuspensions" '
+            'WHERE "Category" = ? AND "Games" = ?'
+        )
+        assert params == ("gambling", "indef")
+        assert "'" not in sql
+
+    def test_condition_predicate_renders_first(self):
+        query = SimpleAggregateQuery(
+            AggregateSpec(AggregateFunction.CONDITIONAL_PROBABILITY, STAR),
+            (Predicate(CATEGORY, "gambling"),),
+            Predicate(GAMES, "indef"),
+        )
+        sql, params = render_sql_parameterized(query)
+        assert params == ("indef", "gambling")
+        assert sql.index('"Games"') < sql.index('"Category"')
+
+    def test_aggregate_column_is_quoted(self):
+        query = SimpleAggregateQuery(AggregateSpec(AggregateFunction.AVG, YEAR))
+        sql, params = render_sql_parameterized(query)
+        assert sql == 'SELECT Avg("Year") FROM "nflsuspensions"'
+        assert params == ()
+
+    def test_hostile_values_cannot_change_the_statement(self):
+        import sqlite3
+
+        connection = sqlite3.connect(":memory:")
+        connection.execute('CREATE TABLE "nflsuspensions" ("Games", "Category")')
+        connection.executemany(
+            'INSERT INTO "nflsuspensions" VALUES (?, ?)',
+            [("indef", "x' OR '1'='1"), ("indef", "gambling")],
+        )
+        query = count_star(Predicate(CATEGORY, "x' OR '1'='1"))
+        sql, params = render_sql_parameterized(query)
+        assert connection.execute(sql, params).fetchone()[0] == 1
+        connection.close()
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=claim_queries())
+    def test_placeholder_count_matches_params(self, query):
+        sql, params = render_sql_parameterized(query)
+        assert sql.count("?") == len(params)
+        assert params == tuple(p.value for p in query.all_predicates)
+        # Literal values never leak into the statement text.
+        for value in params:
+            assert not (isinstance(value, str) and value and value in sql)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=claim_queries())
+    def test_parameterized_agrees_with_display_form(self, query):
+        """Property: parse(render(q)) == q AND the executable rendering
+        names exactly the same identifiers as the display rendering."""
+        display = render_sql(query)
+        executable, _ = render_sql_parameterized(query)
+        for predicate in query.all_predicates:
+            assert f"'{predicate.normalized_value}'" not in executable
+            assert quote_identifier(predicate.column.column) in executable
+        assert display.startswith("SELECT")

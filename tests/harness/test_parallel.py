@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.config import AggCheckerConfig
 from repro.corpus import CorpusConfig, generate_corpus, nfl_suspensions_case
-from repro.db.engine import EngineStats
+from repro.db.engine import EngineConfig, EngineStats
 from repro.harness import CheckerPool, run_corpus, run_corpus_parallel, shard_cases
 from repro.harness.ablations import model_ladder, run_ladder
 from repro.harness.parallel import resolve_workers
@@ -116,7 +116,7 @@ class TestParallelDeterminism:
 
 class TestDiskCacheDeterminism:
     def test_warm_run_matches_cold_run(self, corpus, tmp_path, sequential):
-        config = AggCheckerConfig(cache_dir=str(tmp_path))
+        config = AggCheckerConfig(engine=EngineConfig(cache_dir=str(tmp_path)))
         cold = run_corpus(corpus, config, limit=2)
         warm = run_corpus(corpus, config, limit=2)
         reference = run_corpus(corpus, limit=2)

@@ -24,7 +24,7 @@ from hypothesis import strategies as st
 import repro.db.gather as gather
 from repro.db import Column, ColumnType, Database, QueryEngine, Table
 from repro.db.columnar import ExecutionBackend
-from repro.db.engine import EngineStats, ExecutionMode
+from repro.db.engine import EngineConfig, EngineStats, ExecutionMode
 from repro.db.gather import SpaceResults, ValueTable
 from repro.evalexec import ScopeConfig, refine_by_eval, refine_by_eval_space
 from repro.fragments import FragmentIndex, extract_fragments
@@ -124,8 +124,8 @@ class TestSpacePathMatchesOracle:
         if budget is not None:
             preliminary = {claim: compute_distribution(space)}
 
-        engine_old = QueryEngine(database, mode, backend=backend)
-        engine_new = QueryEngine(database, mode, backend=backend)
+        engine_old = QueryEngine(database, EngineConfig(mode=mode, backend=backend))
+        engine_new = QueryEngine(database, EngineConfig(mode=mode, backend=backend))
         oracle = refine_by_eval({claim: space}, preliminary, engine_old, config)
         spacey = refine_by_eval_space(
             {claim: space}, preliminary, engine_new, config
@@ -186,8 +186,8 @@ class TestMultiClaimDocument:
     @pytest.mark.parametrize("mode", MODES)
     def test_physical_work_identical(self, nfl_pipeline, mode):
         database, _, claims, spaces = nfl_pipeline
-        engine_old = QueryEngine(database, mode)
-        engine_new = QueryEngine(database, mode)
+        engine_old = QueryEngine(database, EngineConfig(mode=mode))
+        engine_new = QueryEngine(database, EngineConfig(mode=mode))
         oracle = refine_by_eval(spaces, None, engine_old)
         spacey = refine_by_eval_space(spaces, None, engine_new)
         for claim in claims:

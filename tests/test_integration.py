@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import AggChecker, VerdictStatus
 from repro.corpus import CorpusConfig, generate_corpus
-from repro.db import ExecutionMode
+from repro.db import EngineConfig, ExecutionMode
 from repro.core.config import AggCheckerConfig
 from repro.harness import run_case
 
@@ -30,7 +30,7 @@ class TestPipelineOnGeneratedCorpus:
         case = mini_corpus.cases[0]
         default = run_case(case)
         naive = run_case(
-            case, AggCheckerConfig(execution_mode=ExecutionMode.NAIVE)
+            case, AggCheckerConfig(engine=EngineConfig(mode=ExecutionMode.NAIVE))
         )
         for a, b in zip(default.evaluations, naive.evaluations):
             assert a.verdict.status == b.verdict.status
